@@ -1,0 +1,93 @@
+// Command rnuca-classify runs the §3 trace characterization for one
+// workload: the Figure 2 sharer clustering, the Figure 3 class breakdown,
+// the Figure 4 working-set quantiles, and the Figure 5 reuse histograms.
+//
+// Usage:
+//
+//	rnuca-classify -workload Apache [-refs 500000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rnuca/internal/cache"
+	"rnuca/internal/report"
+	"rnuca/internal/trace"
+	"rnuca/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "OLTP-DB2", "workload name")
+	refs := flag.Int("refs", 400000, "references to analyze")
+	flag.Parse()
+
+	w, ok := workload.ByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	an := trace.NewAnalyzer(w.Cores)
+	streams := workload.Streams(w)
+	for i := 0; i < *refs; i++ {
+		an.Observe(streams[i%len(streams)].Next())
+	}
+
+	fmt.Printf("%s: %d references, %d distinct blocks\n\n", w.Name, an.Total(), an.Blocks())
+
+	cl := report.NewTable("Reference clustering (Figure 2)", "Sharers", "Kind", "%RW blocks", "%accesses", "Blocks")
+	for _, b := range an.ReferenceClustering() {
+		if b.AccessShare < 0.001 {
+			continue
+		}
+		kind := "data"
+		if b.Instruction {
+			kind = "instr"
+		} else if b.Private {
+			kind = "data-priv"
+		}
+		cl.AddRow(fmt.Sprint(b.Sharers), kind,
+			fmt.Sprintf("%.1f%%", 100*b.RWFraction),
+			fmt.Sprintf("%.1f%%", 100*b.AccessShare), fmt.Sprint(b.Blocks))
+	}
+	cl.Render(os.Stdout)
+	fmt.Println()
+
+	bd := an.ReferenceBreakdown()
+	br := report.NewTable("Class breakdown (Figure 3)", "Instructions", "Private", "Shared-RW", "Shared-RO")
+	br.AddRow(
+		fmt.Sprintf("%.1f%%", 100*bd.Instructions),
+		fmt.Sprintf("%.1f%%", 100*bd.DataPrivate),
+		fmt.Sprintf("%.1f%%", 100*bd.DataSharedRW),
+		fmt.Sprintf("%.1f%%", 100*bd.DataSharedRO))
+	br.Render(os.Stdout)
+	fmt.Println()
+
+	ws := report.NewTable("Working sets (Figure 4)", "Class", "50%", "90%")
+	for _, class := range []cache.Class{cache.ClassPrivate, cache.ClassInstruction, cache.ClassShared} {
+		cdf := an.WorkingSetCDF(class)
+		if cdf.Samples() == 0 {
+			continue
+		}
+		ws.AddRow(class.String(),
+			fmt.Sprintf("%.0fKB", cdf.Quantile(0.5)),
+			fmt.Sprintf("%.0fKB", cdf.Quantile(0.9)))
+	}
+	ws.Render(os.Stdout)
+	fmt.Println()
+
+	labels := trace.RunBucketLabels()
+	re := report.NewTable("Reuse (Figure 5)", "Kind", labels[0], labels[1], labels[2], labels[3], labels[4])
+	ih := an.ReuseHistogram(true)
+	sh := an.ReuseHistogram(false)
+	row := func(kind string, h [5]float64) {
+		re.AddRow(kind,
+			fmt.Sprintf("%.1f%%", 100*h[0]), fmt.Sprintf("%.1f%%", 100*h[1]),
+			fmt.Sprintf("%.1f%%", 100*h[2]), fmt.Sprintf("%.1f%%", 100*h[3]),
+			fmt.Sprintf("%.1f%%", 100*h[4]))
+	}
+	row("instructions", ih)
+	row("shared data", sh)
+	re.Render(os.Stdout)
+}

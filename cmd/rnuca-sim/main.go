@@ -1,0 +1,105 @@
+// Command rnuca-sim runs a single workload x design simulation and prints
+// the CPI stack, miss counts, and classification accuracy.
+//
+// Usage:
+//
+//	rnuca-sim -workload OLTP-DB2 -design R [-warm N] [-measure N]
+//	          [-clusters 4] [-batches 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rnuca"
+	"rnuca/internal/sim"
+	"rnuca/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "OLTP-DB2", "workload name (see -list)")
+	ds := flag.String("design", "R", "design: P, A, S, R or I")
+	warm := flag.Int("warm", 0, "warmup references (0 = default)")
+	measure := flag.Int("measure", 0, "measured references (0 = default)")
+	clusters := flag.Int("clusters", 0, "R-NUCA instruction cluster size override")
+	batches := flag.Int("batches", 1, "independently seeded batches (CI when >1)")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range append(rnuca.Primary(), rnuca.Extended()...) {
+			fmt.Printf("%-12s %s, %d cores\n", w.Name, w.Category, w.Cores)
+		}
+		return
+	}
+	w, ok := workload.ByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wl)
+		os.Exit(2)
+	}
+	id := rnuca.DesignID(strings.ToUpper(*ds))
+	switch id {
+	case rnuca.DesignPrivate, rnuca.DesignASR, rnuca.DesignShared, rnuca.DesignRNUCA, rnuca.DesignIdeal:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q (P, A, S, R, I)\n", *ds)
+		os.Exit(2)
+	}
+
+	opt := rnuca.Options{Warm: *warm, Measure: *measure, Batches: *batches, InstrClusterSize: *clusters}
+	r := rnuca.Run(w, id, opt)
+
+	if *asJSON {
+		out := map[string]interface{}{
+			"workload": w.Name,
+			"design":   string(id),
+			"cpi":      r.CPI(),
+			"cpiStack": map[string]float64{
+				"busy":    r.CPIStack[sim.BucketBusy],
+				"l1toL1":  r.CPIStack[sim.BucketL1toL1],
+				"l2":      r.CPIStack[sim.BucketL2],
+				"l2Coh":   r.CPIStack[sim.BucketL2Coh],
+				"offChip": r.CPIStack[sim.BucketOffChip],
+				"other":   r.CPIStack[sim.BucketOther],
+				"reclass": r.CPIStack[sim.BucketReclass],
+			},
+			"offChipMisses": r.OffChipMisses,
+			"refs":          r.Refs,
+			"netMessages":   r.NetMessages,
+			"netFlitHops":   r.NetFlitHops,
+		}
+		if r.ClassifiedAccesses > 0 {
+			out["misclassifiedFrac"] = float64(r.MisclassifiedAccesses) / float64(r.ClassifiedAccesses)
+			out["mixedPageFrac"] = float64(r.MixedPageAccesses) / float64(r.Refs)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s on %s (%d cores)\n", id, w.Name, w.Cores)
+	fmt.Printf("  CPI           %.4f", r.CPI())
+	if *batches > 1 {
+		fmt.Printf("  (mean %.4f ± %.4f over %d batches)", r.CPIMean, r.CPICI, *batches)
+	}
+	fmt.Println()
+	for _, b := range []sim.Bucket{sim.BucketBusy, sim.BucketL1toL1, sim.BucketL2,
+		sim.BucketL2Coh, sim.BucketOffChip, sim.BucketOther, sim.BucketReclass} {
+		fmt.Printf("  %-18s %.4f\n", b.String(), r.CPIStack[b])
+	}
+	fmt.Printf("  off-chip misses    %d (%.2f%% of %d refs)\n",
+		r.OffChipMisses, 100*float64(r.OffChipMisses)/float64(r.Refs), r.Refs)
+	if r.ClassifiedAccesses > 0 {
+		fmt.Printf("  misclassified      %.3f%% of accesses\n",
+			100*float64(r.MisclassifiedAccesses)/float64(r.ClassifiedAccesses))
+		fmt.Printf("  multi-class pages  %.1f%% of accesses\n",
+			100*float64(r.MixedPageAccesses)/float64(r.Refs))
+	}
+}

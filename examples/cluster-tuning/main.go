@@ -1,0 +1,54 @@
+// Cluster tuning: the Figure 11 trade-off as a runnable study. Sweeping
+// R-NUCA's instruction cluster size trades access latency (small clusters
+// keep replicas close) against off-chip misses (size-1 replicates the
+// whole instruction working set in every slice and thrashes; §3.3.2).
+//
+// Run with:
+//
+//	go run ./examples/cluster-tuning
+package main
+
+import (
+	"fmt"
+
+	"rnuca"
+	"rnuca/internal/cache"
+	"rnuca/internal/report"
+	"rnuca/internal/sim"
+)
+
+func main() {
+	w := rnuca.Apache() // the suite's largest instruction footprint
+	fmt.Printf("Instruction-cluster sweep on %s (instr footprint %dKB, slice 1MB)\n\n",
+		w.Name, w.InstrFootprint>>10)
+
+	fmt.Printf("%-6s %8s %12s %12s %10s   %s\n",
+		"size", "CPI", "instr L2", "instr off", "misses", "total CPI")
+	var cpis []float64
+	for _, size := range []int{1, 2, 4, 8, 16} {
+		r := rnuca.Run(w, rnuca.DesignRNUCA, rnuca.Options{
+			Warm: 80_000, Measure: 160_000, InstrClusterSize: size,
+		})
+		cpis = append(cpis, r.CPI())
+		fmt.Printf("%-6d %8.3f %12.4f %12.4f %10d   %s\n",
+			size, r.CPI(),
+			r.ClassCycles[cache.ClassInstruction][sim.BucketL2],
+			r.ClassCycles[cache.ClassInstruction][sim.BucketOffChip],
+			r.OffChipMisses,
+			report.Bar(r.CPI(), maxOf(cpis), 40))
+	}
+	fmt.Println()
+	fmt.Println("Size-1 pays off-chip misses for full per-slice replication;")
+	fmt.Println("size-16 pays cross-chip hit latency; size-4 balances both,")
+	fmt.Println("matching the paper's choice for these configurations.")
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,45 @@
+// Quickstart: simulate one workload on R-NUCA and print the CPI stack.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"rnuca"
+	"rnuca/internal/sim"
+)
+
+func main() {
+	// Pick a workload (TPC-C on DB2, the paper's flagship) and run it on
+	// the R-NUCA design with default Table 1 parameters. Runs are
+	// deterministic: same workload + options = same result.
+	w := rnuca.OLTPDB2()
+	opt := rnuca.Options{Warm: 60_000, Measure: 120_000}
+
+	res := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+
+	fmt.Printf("R-NUCA on %s (%d cores)\n\n", w.Name, w.Cores)
+	fmt.Printf("  CPI: %.3f over %d references\n\n", res.CPI(), res.Refs)
+	for _, b := range []sim.Bucket{
+		sim.BucketBusy, sim.BucketL1toL1, sim.BucketL2, sim.BucketL2Coh,
+		sim.BucketOffChip, sim.BucketOther, sim.BucketReclass,
+	} {
+		fmt.Printf("  %-18s %6.3f\n", b, res.CPIStack[b])
+	}
+	fmt.Printf("\n  off-chip misses: %d\n", res.OffChipMisses)
+	fmt.Printf("  misclassified accesses: %.2f%% (paper: <0.75%%)\n",
+		100*float64(res.MisclassifiedAccesses)/float64(res.ClassifiedAccesses))
+
+	// Compare against the competing designs, Figure 12 style.
+	fmt.Println("\nSpeedup over the private design:")
+	cmp := rnuca.Compare(w, []rnuca.DesignID{
+		rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA,
+	}, opt)
+	base := cmp[rnuca.DesignPrivate]
+	for _, id := range []rnuca.DesignID{rnuca.DesignShared, rnuca.DesignRNUCA} {
+		fmt.Printf("  %s: %+.1f%%\n", id, 100*cmp[id].Speedup(base.Result))
+	}
+}

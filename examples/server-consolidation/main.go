@@ -1,0 +1,47 @@
+// Server consolidation: the scenario that motivates the paper's
+// introduction. A 16-core CMP runs the full server suite (OLTP on two
+// database engines, a web server, three decision-support queries); for
+// each workload the example finds the best static design and shows that
+// R-NUCA tracks it without per-workload retuning — the paper's
+// "performance stability across workloads" claim (§5.4).
+//
+// Run with:
+//
+//	go run ./examples/server-consolidation
+package main
+
+import (
+	"fmt"
+
+	"rnuca"
+)
+
+func main() {
+	opt := rnuca.Options{Warm: 80_000, Measure: 160_000}
+	suite := []rnuca.Workload{
+		rnuca.OLTPDB2(), rnuca.OLTPOracle(), rnuca.Apache(),
+		rnuca.DSSQry6(), rnuca.DSSQry8(), rnuca.DSSQry13(),
+	}
+
+	fmt.Printf("%-12s %8s %8s %8s   %-14s %s\n",
+		"workload", "P", "S", "R", "best static", "R vs best static")
+	var worst float64 = 1e9
+	for _, w := range suite {
+		p := rnuca.Run(w, rnuca.DesignPrivate, opt)
+		s := rnuca.Run(w, rnuca.DesignShared, opt)
+		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+
+		best, bestName := p, "private"
+		if s.CPI() < best.CPI() {
+			best, bestName = s, "shared"
+		}
+		margin := 100 * r.Speedup(best.Result)
+		if margin < worst {
+			worst = margin
+		}
+		fmt.Printf("%-12s %8.3f %8.3f %8.3f   %-14s %+.1f%%\n",
+			w.Name, p.CPI(), s.CPI(), r.CPI(), bestName, margin)
+	}
+	fmt.Printf("\nR-NUCA vs the per-workload best static design, worst case: %+.1f%%\n", worst)
+	fmt.Println("(the paper's claim: R-NUCA matches the best design for each workload)")
+}

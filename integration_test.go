@@ -1,0 +1,138 @@
+package rnuca_test
+
+import (
+	"testing"
+
+	"rnuca"
+	"rnuca/internal/cache"
+	"rnuca/internal/design"
+	"rnuca/internal/sim"
+	"rnuca/internal/workload"
+)
+
+// Full-pipeline integration: every design runs a real workload through the
+// engine, the chassis audit passes afterwards, and the results carry
+// coherent accounting.
+func TestIntegrationAllDesignsAllAudits(t *testing.T) {
+	mks := map[string]func(*sim.Chassis) sim.Design{
+		"private":   func(ch *sim.Chassis) sim.Design { return design.NewPrivate(ch) },
+		"broadcast": func(ch *sim.Chassis) sim.Design { return design.NewPrivateBroadcast(ch) },
+		"shared":    func(ch *sim.Chassis) sim.Design { return design.NewShared(ch) },
+		"rnuca":     func(ch *sim.Chassis) sim.Design { return design.NewReactive(ch) },
+		"ideal":     func(ch *sim.Chassis) sim.Design { return design.NewIdeal(ch) },
+		"asr-0.5":   func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0.5, 99) },
+	}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			w := rnuca.OLTPDB2()
+			cfg := rnuca.ConfigFor(w)
+			ch := sim.NewChassis(cfg)
+			d := mk(ch)
+			eng := sim.NewEngine(ch, d, workload.Streams(w))
+			eng.OffChipMLP = w.OffChipMLP
+			res := eng.Run(10_000, 30_000)
+
+			if res.CPI() <= 1 {
+				t.Fatalf("CPI %v", res.CPI())
+			}
+			total := 0.0
+			for _, c := range res.CPIStack {
+				if c < 0 {
+					t.Fatalf("negative bucket in %v", res.CPIStack)
+				}
+				total += c
+			}
+			if total < res.CPI()*0.999 || total > res.CPI()*1.001 {
+				t.Fatalf("bucket sum %v != CPI %v", total, res.CPI())
+			}
+			if err := ch.Audit(); err != nil {
+				t.Fatalf("audit: %v", err)
+			}
+		})
+	}
+}
+
+// The migrating mix must run cleanly through R-NUCA with a positive but
+// small re-classification share, and pages must keep their private
+// classification across migrations (the OS re-own path, not demotion).
+func TestIntegrationMigration(t *testing.T) {
+	w := workload.MIXMigrating()
+	cfg := rnuca.ConfigFor(w)
+	ch := sim.NewChassis(cfg)
+	d := design.NewReactive(ch)
+	eng := sim.NewEngine(ch, d, workload.Streams(w))
+	eng.OffChipMLP = w.OffChipMLP
+	res := eng.Run(64_000, 192_000)
+
+	if d.ReclassCount() == 0 {
+		t.Fatal("no re-classifications under migration")
+	}
+	if res.CPIStack[sim.BucketReclass] <= 0 {
+		t.Fatal("no reclassification cost charged")
+	}
+	if share := res.CPIStack[sim.BucketReclass] / res.CPI(); share > 0.25 {
+		t.Fatalf("reclassification share %.2f implausibly high", share)
+	}
+	if err := ch.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// Private pages must remain private (owned by migrated threads), not
+	// degrade to shared: private placements should still dominate.
+	counts := d.OS().Table.CountByClass()
+	if counts[2] /* SharedData */ > counts[1] /* Private */ {
+		t.Fatalf("migration demoted pages to shared: %v", counts)
+	}
+}
+
+// Determinism across the whole stack: identical runs produce identical
+// results, including traffic counters.
+func TestIntegrationBitIdentical(t *testing.T) {
+	run := func() sim.Result {
+		w := rnuca.Apache()
+		ch := sim.NewChassis(rnuca.ConfigFor(w))
+		d := design.NewReactive(ch)
+		eng := sim.NewEngine(ch, d, workload.Streams(w))
+		eng.OffChipMLP = w.OffChipMLP
+		return eng.Run(20_000, 40_000)
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.OffChipMisses != b.OffChipMisses ||
+		a.NetMessages != b.NetMessages || a.NetFlitHops != b.NetFlitHops ||
+		a.MisclassifiedAccesses != b.MisclassifiedAccesses {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// R-NUCA's architectural guarantee, end to end: after a full mixed run, no
+// modifiable block occupies more than one L2 slice, and instruction
+// replicas never exceed the chip's replication degree.
+func TestIntegrationNoL2CoherenceNeeded(t *testing.T) {
+	w := rnuca.OLTPDB2()
+	ch := sim.NewChassis(rnuca.ConfigFor(w))
+	d := design.NewReactive(ch)
+	eng := sim.NewEngine(ch, d, workload.Streams(w))
+	eng.Run(30_000, 60_000)
+
+	locs := map[uint64]int{}
+	instr := map[uint64]int{}
+	for tile := 0; tile < ch.Cfg.Cores; tile++ {
+		d.ForEachLine(tile, func(addr uint64, class cache.Class) {
+			if class == cache.ClassInstruction {
+				instr[addr]++
+			} else {
+				locs[addr]++
+			}
+		})
+	}
+	for addr, n := range locs {
+		if n > 1 {
+			t.Fatalf("modifiable block %#x in %d slices", addr, n)
+		}
+	}
+	deg := d.Placement().ReplicationDegree(0)
+	for addr, n := range instr {
+		if n > deg {
+			t.Fatalf("instruction block %#x has %d replicas, max %d", addr, n, deg)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package cache
+
+import "testing"
+
+// FuzzCacheOperations drives a cache with an arbitrary operation tape and
+// checks the structural invariants after every step: occupancy bounded by
+// capacity, occupancy equal to the per-class sums, and lookup-after-insert
+// coherence.
+func FuzzCacheOperations(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		g := Geometry{SizeBytes: 4096, Ways: 2, BlockBytes: 64} // 32 sets
+		c := New(g)
+		capacity := g.Sets() * g.Ways
+		for i := 0; i+1 < len(tape); i += 2 {
+			addr := Addr(tape[i]) << 6
+			switch tape[i+1] % 3 {
+			case 0:
+				if _, hit := c.Lookup(addr); !hit {
+					c.Insert(addr, Shared, Class(tape[i+1]%4))
+					if _, hit := c.Lookup(addr); !hit {
+						t.Fatal("block missing immediately after insert")
+					}
+				}
+			case 1:
+				c.Invalidate(addr)
+				if _, hit := c.Peek(addr); hit {
+					t.Fatal("block present after invalidate")
+				}
+			case 2:
+				c.Peek(addr)
+			}
+			if c.Lines() > capacity {
+				t.Fatalf("occupancy %d exceeds capacity %d", c.Lines(), capacity)
+			}
+			sum := 0
+			for cl := Class(0); cl < 4; cl++ {
+				sum += c.Occupancy(cl)
+			}
+			if sum != c.Lines() {
+				t.Fatalf("class occupancy sum %d != lines %d", sum, c.Lines())
+			}
+		}
+	})
+}

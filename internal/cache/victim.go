@@ -1,0 +1,147 @@
+package cache
+
+// VictimCache is a small fully-associative buffer that captures blocks
+// evicted from a primary array (Table 1: 16-entry victim caches behind the
+// L1s and L2 slices). A hit in the victim cache swaps the block back into
+// the primary array, converting what would have been a long-latency miss
+// into a short local refill.
+type VictimCache struct {
+	entries int
+	lines   map[Addr]Line
+	order   []Addr // FIFO order for replacement
+	hits    uint64
+	misses  uint64
+}
+
+// NewVictimCache returns a victim cache holding up to entries blocks.
+func NewVictimCache(entries int) *VictimCache {
+	if entries < 0 {
+		panic("cache: negative victim cache size")
+	}
+	return &VictimCache{
+		entries: entries,
+		lines:   make(map[Addr]Line, entries),
+	}
+}
+
+// Put stores an evicted block, displacing the oldest entry if full; the
+// displaced block (if any) is returned so callers can keep directory state
+// consistent. A zero-entry victim cache accepts nothing and reports the
+// incoming block as displaced.
+func (v *VictimCache) Put(addr Addr, line Line) (Addr, Line, bool) {
+	if v.entries == 0 {
+		return addr, line, true
+	}
+	if _, ok := v.lines[addr]; ok {
+		v.lines[addr] = line
+		return 0, Line{}, false
+	}
+	var dAddr Addr
+	var dLine Line
+	displaced := false
+	if len(v.order) >= v.entries {
+		dAddr = v.order[0]
+		dLine = v.lines[dAddr]
+		displaced = true
+		v.order = v.order[1:]
+		delete(v.lines, dAddr)
+	}
+	v.lines[addr] = line
+	v.order = append(v.order, addr)
+	return dAddr, dLine, displaced
+}
+
+// Take removes and returns the block if present (a victim hit).
+func (v *VictimCache) Take(addr Addr) (Line, bool) {
+	line, ok := v.lines[addr]
+	if !ok {
+		v.misses++
+		return Line{}, false
+	}
+	v.hits++
+	delete(v.lines, addr)
+	for i, a := range v.order {
+		if a == addr {
+			v.order = append(v.order[:i], v.order[i+1:]...)
+			break
+		}
+	}
+	return line, true
+}
+
+// Len returns the number of resident entries.
+func (v *VictimCache) Len() int { return len(v.lines) }
+
+// Hits returns the number of successful Take calls.
+func (v *VictimCache) Hits() uint64 { return v.hits }
+
+// Misses returns the number of failed Take calls.
+func (v *VictimCache) Misses() uint64 { return v.misses }
+
+// MSHRFile models a set of miss status holding registers. In the
+// trace-driven timing model MSHRs bound the number of overlapping misses a
+// core can sustain, which caps the memory-level parallelism credited by the
+// overlap model. The simulator registers a miss, asks for the permitted
+// overlap, and retires the miss when its latency has been charged.
+type MSHRFile struct {
+	entries     int
+	outstanding map[Addr]int // addr -> pending count (merged requests)
+	peak        int
+	allocs      uint64
+	merges      uint64
+	stalls      uint64
+}
+
+// NewMSHRFile returns a file with the given number of entries (32 in
+// Table 1).
+func NewMSHRFile(entries int) *MSHRFile {
+	if entries <= 0 {
+		panic("cache: MSHR file needs at least one entry")
+	}
+	return &MSHRFile{entries: entries, outstanding: make(map[Addr]int)}
+}
+
+// Allocate records a miss for addr. It returns merged=true when the miss
+// coalesces into an existing entry (a secondary miss to the same block),
+// and ok=false when the file is full, which models a structural stall.
+func (m *MSHRFile) Allocate(addr Addr) (merged, ok bool) {
+	if n, exists := m.outstanding[addr]; exists {
+		m.outstanding[addr] = n + 1
+		m.merges++
+		return true, true
+	}
+	if len(m.outstanding) >= m.entries {
+		m.stalls++
+		return false, false
+	}
+	m.outstanding[addr] = 1
+	m.allocs++
+	if len(m.outstanding) > m.peak {
+		m.peak = len(m.outstanding)
+	}
+	return false, true
+}
+
+// Retire releases the entry for addr. Retiring an unknown address is a
+// programming error and panics.
+func (m *MSHRFile) Retire(addr Addr) {
+	if _, ok := m.outstanding[addr]; !ok {
+		panic("cache: retiring unknown MSHR entry")
+	}
+	delete(m.outstanding, addr)
+}
+
+// InFlight returns the number of live entries.
+func (m *MSHRFile) InFlight() int { return len(m.outstanding) }
+
+// Peak returns the maximum simultaneous occupancy observed.
+func (m *MSHRFile) Peak() int { return m.peak }
+
+// Stalls returns how many allocations failed because the file was full.
+func (m *MSHRFile) Stalls() uint64 { return m.stalls }
+
+// Merges returns how many misses coalesced into existing entries.
+func (m *MSHRFile) Merges() uint64 { return m.merges }
+
+// Entries returns the configured capacity.
+func (m *MSHRFile) Entries() int { return m.entries }

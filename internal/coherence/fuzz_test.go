@@ -1,0 +1,54 @@
+package coherence
+
+import (
+	"testing"
+
+	"rnuca/internal/cache"
+)
+
+// FuzzDirectoryProtocol drives the MOSI directory with an arbitrary
+// operation tape and audits the invariants after every transaction.
+func FuzzDirectoryProtocol(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0xC4})
+	f.Add([]byte{0xFF, 0xFE, 0xFD, 0xFC, 0xFB})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		d := NewDirectory(16)
+		holders := map[cache.Addr]map[int]bool{}
+		for _, op := range tape {
+			tile := int(op) % 16
+			addr := cache.Addr(op>>4) * 64
+			if holders[addr] == nil {
+				holders[addr] = map[int]bool{}
+			}
+			switch (op >> 2) % 3 {
+			case 0:
+				d.Read(addr, tile, nil)
+				holders[addr][tile] = true
+			case 1:
+				d.Write(addr, tile, nil)
+				holders[addr] = map[int]bool{tile: true}
+			case 2:
+				if holders[addr][tile] {
+					d.Evict(addr, tile, op&1 == 0)
+					delete(holders[addr], tile)
+				}
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("after op %#x: %v", op, err)
+			}
+			// The directory's holder set must match the shadow model.
+			got := map[int]bool{}
+			for _, h := range d.Holders(addr) {
+				got[h] = true
+			}
+			if len(got) != len(holders[addr]) {
+				t.Fatalf("holders mismatch for %#x: %v vs %v", uint64(addr), got, holders[addr])
+			}
+			for h := range holders[addr] {
+				if !got[h] {
+					t.Fatalf("missing holder %d for %#x", h, uint64(addr))
+				}
+			}
+		}
+	})
+}

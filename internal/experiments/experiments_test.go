@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rnuca"
+	"rnuca/internal/workload"
+)
+
+func tiny() Scale {
+	return Scale{Warm: 8_000, Measure: 16_000, TraceRefs: 30_000, Batches: 1}
+}
+
+func TestTable1(t *testing.T) {
+	tabs := Table1()
+	if len(tabs) != 2 {
+		t.Fatalf("Table1 returned %d tables", len(tabs))
+	}
+	s := tabs[0].String()
+	for _, want := range []string{"16-core", "8-core", "torus", "1MB", "3MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("system table missing %q:\n%s", want, s)
+		}
+	}
+	if len(tabs[1].Rows) != 8 {
+		t.Fatalf("workload table has %d rows, want 8", len(tabs[1].Rows))
+	}
+}
+
+func TestFig2PanelsSplitByCategory(t *testing.T) {
+	c := NewCampaign(tiny())
+	tabs := c.Fig2()
+	if len(tabs) != 2 {
+		t.Fatalf("Fig2 returned %d panels", len(tabs))
+	}
+	if !strings.Contains(tabs[0].Title, "server") {
+		t.Fatal("panel (a) should be server workloads")
+	}
+	if len(tabs[0].Rows) == 0 || len(tabs[1].Rows) == 0 {
+		t.Fatal("empty Fig2 panels")
+	}
+	// Panel (b) must include MIX and em3d but no OLTP.
+	b := tabs[1].String()
+	if !strings.Contains(b, "MIX") || !strings.Contains(b, "em3d") || strings.Contains(b, "OLTP") {
+		t.Fatalf("panel (b) wrong membership:\n%s", b)
+	}
+}
+
+func TestFig3RowsPerWorkload(t *testing.T) {
+	c := NewCampaign(tiny())
+	tab := c.Fig3()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Fig3 rows = %d, want 8", len(tab.Rows))
+	}
+	// DSS and MIX must be private-dominated; OLTP instruction-heavy.
+	s := tab.String()
+	if !strings.Contains(s, "OLTP-DB2") || !strings.Contains(s, "MIX") {
+		t.Fatalf("missing workloads:\n%s", s)
+	}
+}
+
+func TestFig4And5NonEmpty(t *testing.T) {
+	c := NewCampaign(tiny())
+	if rows := len(c.Fig4().Rows); rows < 16 {
+		t.Fatalf("Fig4 rows = %d", rows)
+	}
+	if rows := len(c.Fig5().Rows); rows != 16 {
+		t.Fatalf("Fig5 rows = %d, want 16 (2 per workload)", rows)
+	}
+}
+
+func TestFig7StackStructure(t *testing.T) {
+	c := NewCampaign(tiny())
+	tab := c.Fig7()
+	// 8 workloads x 4 designs.
+	if len(tab.Rows) != 32 {
+		t.Fatalf("Fig7 rows = %d, want 32", len(tab.Rows))
+	}
+	// The private design's normalized total must be 1.000 in each group.
+	ones := 0
+	for _, row := range tab.Rows {
+		if row[1] == "P" && row[len(row)-1] == "1.000" {
+			ones++
+		}
+	}
+	if ones != 8 {
+		t.Fatalf("private normalization wrong: %d exact 1.000 rows", ones)
+	}
+}
+
+func TestFig11SweepsClusterSizes(t *testing.T) {
+	c := NewCampaign(tiny())
+	tab := c.Fig11()
+	// 7 sixteen-core workloads x 5 sizes + MIX (8 cores) x 4 sizes.
+	if len(tab.Rows) != 39 {
+		t.Fatalf("Fig11 rows = %d, want 39", len(tab.Rows))
+	}
+}
+
+func TestFig12HasSummaryRows(t *testing.T) {
+	c := NewCampaign(tiny())
+	tab := c.Fig12()
+	s := tab.String()
+	for _, want := range []string{"avg R vs P", "avg R vs S", "avg I vs R", "max:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Fig12 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestClassificationAccuracyTable(t *testing.T) {
+	c := NewCampaign(tiny())
+	tab := c.ClassificationAccuracy()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasSuffix(row[2], "%") {
+			t.Fatalf("misclassification cell %q not a percentage", row[2])
+		}
+	}
+}
+
+func TestCampaignCachesResults(t *testing.T) {
+	c := NewCampaign(tiny())
+	w := workloadByName(t, "em3d")
+	a := c.Result(w, "R")
+	b := c.Result(w, "R")
+	if a.CPI() != b.CPI() {
+		t.Fatal("campaign cache returned different results")
+	}
+}
+
+func workloadByName(t *testing.T, name string) rnuca.Workload {
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %s not found", name)
+	}
+	return w
+}

@@ -1,0 +1,157 @@
+package noc
+
+import (
+	"testing"
+)
+
+func TestFlitsCalculation(t *testing.T) {
+	cfg := DefaultLinkConfig()
+	cases := []struct{ bytes, want int }{
+		{0, 1}, {1, 1}, {8, 1}, {32, 1}, {33, 2}, {64, 2}, {72, 3},
+	}
+	for _, c := range cases {
+		if got := cfg.Flits(c.bytes); got != c.want {
+			t.Errorf("Flits(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	n := NewNetwork(NewFoldedTorus2D(4, 4), DefaultLinkConfig())
+	// Same tile: free.
+	if got := n.Latency(3, 3, CtrlBytes); got != 0 {
+		t.Errorf("same-tile latency = %v, want 0", got)
+	}
+	// One hop control: link(1) + router(2) = 3.
+	if got := n.Latency(0, 1, CtrlBytes); got != 3 {
+		t.Errorf("1-hop ctrl latency = %v, want 3", got)
+	}
+	// One hop data (72B = 3 flits): 3 + 2 serialization = 5.
+	if got := n.Latency(0, 1, DataBytes); got != 5 {
+		t.Errorf("1-hop data latency = %v, want 5", got)
+	}
+	// Diameter control: 4 hops * 3 = 12.
+	if got := n.Latency(0, 10, CtrlBytes); got != 12 {
+		t.Errorf("4-hop ctrl latency = %v, want 12", got)
+	}
+}
+
+func TestContentionRampsWithLoad(t *testing.T) {
+	n := NewNetwork(NewFoldedTorus2D(4, 4), DefaultLinkConfig())
+	// Light load window.
+	for i := 0; i < 100; i++ {
+		n.Latency(0, 5, DataBytes)
+	}
+	n.Advance(100000)
+	light := n.QueuePenalty()
+	// Heavy load window: many messages in few cycles.
+	for i := 0; i < 100000; i++ {
+		n.Latency(TileID(i%16), TileID((i*7)%16), DataBytes)
+	}
+	n.Advance(10000)
+	heavy := n.QueuePenalty()
+	if light >= heavy {
+		t.Fatalf("queue penalty should rise with load: light=%v heavy=%v", light, heavy)
+	}
+	if heavy <= 0 {
+		t.Fatalf("heavy penalty should be positive, got %v", heavy)
+	}
+}
+
+func TestContentionSaturationClamped(t *testing.T) {
+	n := NewNetwork(NewFoldedTorus2D(4, 4), DefaultLinkConfig())
+	for i := 0; i < 1000000; i++ {
+		n.Latency(0, 10, DataBytes)
+	}
+	n.Advance(10) // absurd overload
+	if p := n.QueuePenalty(); p > 10 {
+		t.Fatalf("penalty must stay clamped at saturation, got %v", p)
+	}
+}
+
+func TestLatencyQuietDoesNotAccumulate(t *testing.T) {
+	n := NewNetwork(NewFoldedTorus2D(4, 4), DefaultLinkConfig())
+	n.LatencyQuiet(0, 5, DataBytes)
+	st := n.TotalStats()
+	if st.Messages != 0 || st.FlitHops != 0 {
+		t.Fatalf("LatencyQuiet must not record traffic: %+v", st)
+	}
+	n.Latency(0, 5, DataBytes)
+	st = n.TotalStats()
+	if st.Messages != 1 {
+		t.Fatalf("Latency must record traffic: %+v", st)
+	}
+}
+
+func TestMeshHotSpotVsTorus(t *testing.T) {
+	// All-to-all traffic: mesh center links must be hotter than its edge
+	// links; torus should be perfectly balanced per direction.
+	mesh := NewNetwork(NewMesh2D(4, 4), DefaultLinkConfig())
+	torus := NewNetwork(NewFoldedTorus2D(4, 4), DefaultLinkConfig())
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if a != b {
+				mesh.RecordRoute(TileID(a), TileID(b), CtrlBytes)
+				torus.RecordRoute(TileID(a), TileID(b), CtrlBytes)
+			}
+		}
+	}
+	maxLoad := func(m map[Link]uint64) (mx, mn uint64) {
+		mn = ^uint64(0)
+		for _, v := range m {
+			if v > mx {
+				mx = v
+			}
+			if v < mn {
+				mn = v
+			}
+		}
+		return
+	}
+	mMax, mMin := maxLoad(mesh.LinkLoads())
+	tMax, tMin := maxLoad(torus.LinkLoads())
+	if mMax == mMin {
+		t.Fatal("mesh should have unbalanced link loads under uniform traffic")
+	}
+	// With parity-balanced tie-breaking the torus is perfectly uniform
+	// under all-to-all traffic (vertex transitivity), while the mesh
+	// loads its center links more than its edges.
+	if tMax != tMin {
+		t.Fatalf("torus link loads should be balanced, got max %d min %d", tMax, tMin)
+	}
+	if mMax == mMin {
+		t.Fatal("mesh should have unbalanced link loads under uniform traffic")
+	}
+	if mMax <= tMax {
+		t.Fatalf("mesh peak link load (%d) should exceed torus peak (%d)", mMax, tMax)
+	}
+}
+
+func TestNetworkReset(t *testing.T) {
+	n := NewNetwork(NewFoldedTorus2D(4, 4), DefaultLinkConfig())
+	n.Latency(0, 5, DataBytes)
+	n.Advance(100)
+	n.Reset()
+	st := n.TotalStats()
+	if st.Messages != 0 || st.FlitHops != 0 || st.Cycles != 0 {
+		t.Fatalf("reset did not clear stats: %+v", st)
+	}
+}
+
+func TestLinkCount(t *testing.T) {
+	// 4x4 torus: 2 directed x-links and 2 directed y-links per tile = 64.
+	n := NewNetwork(NewFoldedTorus2D(4, 4), DefaultLinkConfig())
+	if got := n.linkCount(); got != 64 {
+		t.Fatalf("4x4 torus link count = %d, want 64", got)
+	}
+	// 4x4 mesh: 2*(3*4) + 2*(4*3) = 48.
+	m := NewNetwork(NewMesh2D(4, 4), DefaultLinkConfig())
+	if got := m.linkCount(); got != 48 {
+		t.Fatalf("4x4 mesh link count = %d, want 48", got)
+	}
+	// 4x2 torus: x-rings full (2*8=16), y dimension size 2 (8 directed).
+	n8 := NewNetwork(NewFoldedTorus2D(4, 2), DefaultLinkConfig())
+	if got := n8.linkCount(); got != 24 {
+		t.Fatalf("4x2 torus link count = %d, want 24", got)
+	}
+}

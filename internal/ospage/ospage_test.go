@@ -1,0 +1,243 @@
+package ospage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstTouchIsPrivate(t *testing.T) {
+	tab := NewTable(8192)
+	out := tab.AccessData(5, 2, 2, false)
+	if out.Class != Private || out.Owner != 2 || out.Reclass != ReclassNone {
+		t.Fatalf("first touch: %+v", out)
+	}
+	if tab.Stats().FirstTouches != 1 {
+		t.Fatal("first touch not counted")
+	}
+	// Same core again: still private, no transition.
+	out = tab.AccessData(5, 2, 2, true)
+	if out.Class != Private || out.Reclass != ReclassNone {
+		t.Fatalf("repeat access: %+v", out)
+	}
+}
+
+func TestPrivateToSharedOnSecondThread(t *testing.T) {
+	tab := NewTable(8192)
+	tab.AccessData(7, 0, 0, false)
+	out := tab.AccessData(7, 3, 3, false) // different core, different thread
+	if out.Class != SharedData || out.Reclass != ReclassPrivateToShared {
+		t.Fatalf("sharing transition: %+v", out)
+	}
+	if out.PrevOwner != 0 {
+		t.Fatalf("previous owner = %d, want 0", out.PrevOwner)
+	}
+	// Monotone: never goes back to private.
+	out = tab.AccessData(7, 5, 5, false)
+	if out.Class != SharedData || out.Reclass != ReclassNone {
+		t.Fatalf("shared page transitioned again: %+v", out)
+	}
+}
+
+func TestThreadMigrationKeepsPrivate(t *testing.T) {
+	tab := NewTable(8192)
+	tab.AccessData(9, 1, 42, false)
+	// Same thread 42 now on core 6: migration, not sharing.
+	out := tab.AccessData(9, 6, 42, false)
+	if out.Class != Private || out.Reclass != ReclassMigration {
+		t.Fatalf("migration: %+v", out)
+	}
+	if out.Owner != 6 || out.PrevOwner != 1 {
+		t.Fatalf("owners: %+v", out)
+	}
+	// Subsequent access from the new core is a plain private access.
+	out = tab.AccessData(9, 6, 42, true)
+	if out.Reclass != ReclassNone || out.Class != Private {
+		t.Fatalf("post-migration: %+v", out)
+	}
+}
+
+func TestInstructionClassification(t *testing.T) {
+	tab := NewTable(8192)
+	out := tab.AccessInstr(11, 4)
+	if out.Class != Instruction {
+		t.Fatalf("ifetch first touch: %+v", out)
+	}
+	// Any core fetching: still instruction, no transitions.
+	out = tab.AccessInstr(11, 9)
+	if out.Class != Instruction || out.Reclass != ReclassNone {
+		t.Fatalf("second ifetch: %+v", out)
+	}
+	// A data *read* of an instruction page is served by the instruction
+	// placement (misclassified access, no transition).
+	out = tab.AccessData(11, 2, 2, false)
+	if out.Class != Instruction || out.Reclass != ReclassNone {
+		t.Fatalf("data read of instr page: %+v", out)
+	}
+	// A *store* forces de-replication to shared.
+	out = tab.AccessData(11, 2, 2, true)
+	if out.Class != SharedData || out.Reclass != ReclassInstrToShared {
+		t.Fatalf("store to instr page: %+v", out)
+	}
+}
+
+func TestPrivateToInstruction(t *testing.T) {
+	tab := NewTable(8192)
+	tab.AccessData(13, 3, 3, false)
+	out := tab.AccessInstr(13, 8)
+	if out.Class != Instruction || out.Reclass != ReclassPrivateToInstr || out.PrevOwner != 3 {
+		t.Fatalf("private->instr: %+v", out)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	tab := NewTable(8192)
+	if tab.PageOf(0) != 0 || tab.PageOf(8191) != 0 || tab.PageOf(8192) != 1 {
+		t.Fatal("PageOf boundaries wrong")
+	}
+	if tab.PageBits() != 13 {
+		t.Fatalf("PageBits = %d, want 13", tab.PageBits())
+	}
+}
+
+func TestCountByClass(t *testing.T) {
+	tab := NewTable(8192)
+	tab.AccessData(1, 0, 0, false)
+	tab.AccessData(2, 0, 0, false)
+	tab.AccessData(2, 1, 1, false) // becomes shared
+	tab.AccessInstr(3, 0)
+	got := tab.CountByClass()
+	if got[Private] != 1 || got[SharedData] != 1 || got[Instruction] != 1 {
+		t.Fatalf("counts: %v", got)
+	}
+	if tab.Pages() != 3 {
+		t.Fatalf("pages = %d", tab.Pages())
+	}
+}
+
+// Classification is monotone for data pages: once shared, never private or
+// instruction again via data accesses, regardless of access order.
+func TestQuickSharedIsTerminalForData(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tab := NewTable(8192)
+		tab.AccessData(1, 0, 0, false)
+		tab.AccessData(1, 1, 1, false) // force shared
+		for _, op := range ops {
+			cid := int(op % 16)
+			write := op&0x100 != 0
+			out := tab.AccessData(1, cid, cid, write)
+			if out.Class != SharedData {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2)
+	if _, _, ok := tlb.Lookup(1); ok {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Fill(1, Private, 3)
+	class, owner, ok := tlb.Lookup(1)
+	if !ok || class != Private || owner != 3 {
+		t.Fatalf("lookup: %v %v %v", class, owner, ok)
+	}
+	tlb.Fill(2, SharedData, -1)
+	tlb.Lookup(1) // make 1 MRU
+	tlb.Fill(3, Instruction, -1)
+	if _, _, ok := tlb.Lookup(2); ok {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	if _, _, ok := tlb.Lookup(1); !ok {
+		t.Fatal("MRU entry 1 evicted")
+	}
+	if tlb.Evictions() != 1 {
+		t.Fatalf("evictions = %d", tlb.Evictions())
+	}
+}
+
+func TestTLBShootdown(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Fill(1, Private, 0)
+	if !tlb.Shootdown(1) {
+		t.Fatal("shootdown missed present entry")
+	}
+	if tlb.Shootdown(1) {
+		t.Fatal("double shootdown succeeded")
+	}
+	if _, _, ok := tlb.Lookup(1); ok {
+		t.Fatal("entry survived shootdown")
+	}
+}
+
+func TestSystemTranslationFlow(t *testing.T) {
+	s := NewSystem(8192, 64, 4)
+	// Core 0 touches a page: TLB miss, classified private.
+	r := s.Translate(0x4000, 0, 0, false, false)
+	if !r.TLBMiss || r.Class != Private {
+		t.Fatalf("first translate: %+v", r)
+	}
+	// Second access: TLB hit, no walk.
+	r = s.Translate(0x4abc, 0, 0, false, false)
+	if r.TLBMiss {
+		t.Fatal("second access should hit TLB")
+	}
+	// Core 1 (different thread) touches it: walk + reclassification.
+	r = s.Translate(0x4000, 1, 1, false, false)
+	if !r.TLBMiss || r.Reclass != ReclassPrivateToShared {
+		t.Fatalf("sharing translate: %+v", r)
+	}
+	// Core 0's stale TLB entry must be gone: next access misses and sees
+	// the shared classification.
+	r = s.Translate(0x4000, 0, 0, false, false)
+	if !r.TLBMiss || r.Class != SharedData {
+		t.Fatalf("post-shootdown translate: %+v", r)
+	}
+}
+
+func TestSystemInstructionStoreTrap(t *testing.T) {
+	s := NewSystem(8192, 64, 2)
+	s.Translate(0x2000, 0, 0, false, true) // ifetch: instruction page
+	s.Translate(0x2000, 1, 1, false, true) // other core caches translation
+	// Store via a TLB-resident instruction entry must trap and demote.
+	r := s.Translate(0x2000, 0, 0, true, false)
+	if r.Class != SharedData || r.Reclass != ReclassInstrToShared {
+		t.Fatalf("store to instr page: %+v", r)
+	}
+	// The other core's translation must have been shot down.
+	r = s.Translate(0x2040, 1, 1, false, false)
+	if !r.TLBMiss || r.Class != SharedData {
+		t.Fatalf("stale remote translation survived: %+v", r)
+	}
+}
+
+func TestForceClassifiers(t *testing.T) {
+	tab := NewTable(8192)
+	tab.ForcePrivate(1, 2, 2)
+	tab.ForceShared(2)
+	tab.ForceInstruction(3)
+	if tab.Lookup(1).Class != Private || tab.Lookup(2).Class != SharedData || tab.Lookup(3).Class != Instruction {
+		t.Fatal("force classifiers failed")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTable(1000) },
+		func() { NewTable(0) },
+		func() { NewTLB(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

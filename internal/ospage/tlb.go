@@ -1,0 +1,153 @@
+package ospage
+
+// TLB is a per-core translation lookaside buffer caching page
+// classifications. R-NUCA communicates placement information through the
+// standard TLB mechanism (§4.3): a hit means the core already knows the
+// page's class and owner; a miss walks the page table (and may trap to the
+// OS for classification), which the simulator charges.
+//
+// The TLB is fully associative with true LRU, the common organization for
+// the UltraSPARC-class cores in Table 1.
+type TLB struct {
+	entries int
+	lines   map[PageID]*tlbLine
+	tick    uint64
+
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type tlbLine struct {
+	class Class
+	owner int
+	lru   uint64
+}
+
+// NewTLB returns a TLB with the given entry count.
+func NewTLB(entries int) *TLB {
+	if entries <= 0 {
+		panic("ospage: TLB needs at least one entry")
+	}
+	return &TLB{entries: entries, lines: make(map[PageID]*tlbLine, entries)}
+}
+
+// Lookup returns the cached classification for a page.
+func (t *TLB) Lookup(p PageID) (Class, int, bool) {
+	l, ok := t.lines[p]
+	if !ok {
+		t.misses++
+		return Unclassified, -1, false
+	}
+	t.hits++
+	t.tick++
+	l.lru = t.tick
+	return l.class, l.owner, true
+}
+
+// Fill installs a translation after a page walk, evicting LRU if full.
+func (t *TLB) Fill(p PageID, class Class, owner int) {
+	if l, ok := t.lines[p]; ok {
+		l.class, l.owner = class, owner
+		t.tick++
+		l.lru = t.tick
+		return
+	}
+	if len(t.lines) >= t.entries {
+		var victim PageID
+		var oldest uint64 = ^uint64(0)
+		for id, l := range t.lines {
+			if l.lru < oldest || (l.lru == oldest && id < victim) {
+				victim, oldest = id, l.lru
+			}
+		}
+		delete(t.lines, victim)
+		t.evicted++
+	}
+	t.tick++
+	t.lines[p] = &tlbLine{class: class, owner: owner, lru: t.tick}
+}
+
+// Shootdown removes a translation (the re-classification protocol).
+// It reports whether the entry was present.
+func (t *TLB) Shootdown(p PageID) bool {
+	if _, ok := t.lines[p]; ok {
+		delete(t.lines, p)
+		return true
+	}
+	return false
+}
+
+// Len returns the number of live entries.
+func (t *TLB) Len() int { return len(t.lines) }
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Evictions returns the capacity eviction count.
+func (t *TLB) Evictions() uint64 { return t.evicted }
+
+// System bundles the page table with per-core TLBs and drives the
+// classification protocol including shootdowns, exactly as a core would
+// experience it: TLB probe, then on a miss a table walk plus possible OS
+// trap.
+type System struct {
+	Table *Table
+	TLBs  []*TLB
+}
+
+// NewSystem builds the OS layer for ncores cores.
+func NewSystem(pageBytes, tlbEntries, ncores int) *System {
+	s := &System{Table: NewTable(pageBytes)}
+	for i := 0; i < ncores; i++ {
+		s.TLBs = append(s.TLBs, NewTLB(tlbEntries))
+	}
+	return s
+}
+
+// Result describes one translated access.
+type Result struct {
+	Outcome
+	// TLBMiss is true when the access required a page walk.
+	TLBMiss bool
+}
+
+// Translate performs the full access path for core cid running thread tid:
+// TLB probe, page walk on miss, classification transitions, and TLB
+// shootdowns at every other core on a re-classification.
+func (s *System) Translate(addr uint64, cid, tid int, write, ifetch bool) Result {
+	p := s.Table.PageOf(addr)
+	tlb := s.TLBs[cid]
+	if class, owner, ok := tlb.Lookup(p); ok {
+		// Hit: the cached class steers placement with no OS involvement.
+		// Transitions only happen on TLB misses (the paper classifies "at
+		// the time of a TLB miss"), with one exception mirroring the
+		// hardware: a store through a TLB entry marked instruction traps
+		// so the OS can de-replicate the page.
+		if !write || class != Instruction {
+			return Result{Outcome: Outcome{Class: class, Owner: owner}}
+		}
+		tlb.Shootdown(p)
+	}
+	var out Outcome
+	if ifetch {
+		out = s.Table.AccessInstr(p, cid)
+	} else {
+		out = s.Table.AccessData(p, cid, tid, write)
+	}
+	if out.Reclass != ReclassNone {
+		// Shoot down stale translations chip-wide; the entry at the
+		// previous accessor is the one that must go, but the protocol
+		// conservatively visits all TLBs holding the page.
+		for i, other := range s.TLBs {
+			if i != cid {
+				other.Shootdown(p)
+			}
+		}
+	}
+	tlb.Fill(p, out.Class, out.Owner)
+	return Result{Outcome: out, TLBMiss: true}
+}

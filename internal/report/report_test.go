@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "A", "BB", "CCC")
+	tab.AddRow("1", "22", "333")
+	tab.AddRow("long-cell", "x", "y")
+	s := tab.String()
+	if !strings.Contains(s, "Title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: header "BB" and cell "22" start at the same offset.
+	h, r := lines[1], lines[3]
+	if strings.Index(h, "BB") != strings.Index(r, "22") {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("plain", `with "quote", comma`)
+	var b strings.Builder
+	tab.CSV(&b)
+	got := b.String()
+	if !strings.Contains(got, `"with ""quote"", comma"`) {
+		t.Fatalf("CSV escaping wrong: %s", got)
+	}
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("CSV header wrong: %s", got)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "w", "x", "y")
+	tab.AddRowf([]string{"fixed", "%.2f", "%d"}, 1.234, 42)
+	if tab.Rows[0][0] != "fixed" || tab.Rows[0][1] != "1.23" || tab.Rows[0][2] != "42" {
+		t.Fatalf("row = %v", tab.Rows[0])
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Fatalf("Bar clamp = %q", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 10, 10) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar([]float64{2, 3}, []rune{'a', 'b'}, 10, 10)
+	if got != "aabbb" {
+		t.Fatalf("StackedBar = %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1})
+	if len([]rune(s)) != 2 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty string")
+	}
+	// All-zero input must not divide by zero.
+	if z := Sparkline([]float64{0, 0}); len([]rune(z)) != 2 {
+		t.Fatal("zero sparkline wrong")
+	}
+	// Monotone input produces the full ramp at the ends.
+	r := []rune(Sparkline([]float64{0, 0.5, 1}))
+	if r[0] != '▁' || r[2] != '█' {
+		t.Fatalf("ramp ends wrong: %q", string(r))
+	}
+}

@@ -1,0 +1,150 @@
+// Package stats provides the statistical utilities used throughout the
+// R-NUCA reproduction: a deterministic splittable random number generator,
+// online mean/variance accumulators, histograms, empirical CDFs, and
+// confidence intervals in the style of the SimFlex sampling methodology the
+// paper uses to report results.
+//
+// Everything in this package is deterministic given a seed, which is what
+// makes the simulator reproducible: two runs with the same configuration
+// produce bit-identical CPI stacks.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256**). It is deliberately not math/rand so that streams can be
+// split per core and per workload without global locking, and so results
+// are stable across Go releases.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// NewRNG returns a generator seeded from a single 64-bit seed using
+// splitmix64, which guarantees a well-distributed internal state even for
+// small consecutive seeds (0, 1, 2, ...).
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	return r
+}
+
+// Split derives an independent generator from this one. The derived stream
+// is statistically independent of the parent for simulation purposes.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew s >= 0.
+// s == 0 degenerates to uniform. Higher s concentrates probability on low
+// ranks, which is how the workload generators model hot database pages and
+// hot instruction blocks.
+type Zipf struct {
+	n   int
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf precomputes the CDF for a Zipf(s) distribution over n ranks.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	z := &Zipf{n: n, cdf: make([]float64, n), rng: rng}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	inv := 1.0 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	return z
+}
+
+// Draw returns the next rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// Binary search the precomputed CDF.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }

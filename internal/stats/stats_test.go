@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n, buckets = 100000, 16
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %f", b, c, want)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(5)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.25) {
+			n++
+		}
+	}
+	if n < 2200 || n > 2800 {
+		t.Fatalf("Bool(0.25) hit %d/10000", n)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream tracks parent: %d collisions", same)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(3)
+	z := NewZipf(r, 100, 0.99)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf skew missing: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Uniform degenerate case.
+	u := NewZipf(NewRNG(4), 10, 0)
+	uc := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		uc[u.Draw()]++
+	}
+	for i, c := range uc {
+		if math.Abs(float64(c)-5000) > 500 {
+			t.Fatalf("Zipf(0) not uniform at rank %d: %d", i, c)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0 ranks) must panic")
+		}
+	}()
+	NewZipf(NewRNG(0), 0, 1)
+}
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryCI(t *testing.T) {
+	var s Summary
+	if s.CI95() != 0 {
+		t.Fatal("empty CI should be 0")
+	}
+	s.Add(1)
+	if s.CI95() != 0 {
+		t.Fatal("single-sample CI should be 0")
+	}
+	for i := 0; i < 99; i++ {
+		s.Add(1)
+	}
+	if s.CI95() != 0 {
+		t.Fatal("zero-variance CI should be 0")
+	}
+	var v Summary
+	for i := 0; i < 30; i++ {
+		v.Add(float64(i % 3))
+	}
+	if v.CI95() <= 0 {
+		t.Fatal("CI should be positive with variance")
+	}
+}
+
+func TestQuickSummaryMeanWithinRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			// Skip degenerate inputs: NaN/Inf, and magnitudes where the
+			// running-moment arithmetic itself overflows float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+			s.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= lo-1e-9*math.Abs(lo)-1e-9 && s.Mean() <= hi+1e-9*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.AddN(5, 3)
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(5) != 3 || h.Count(9) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.Fraction(5) != 0.6 {
+		t.Fatalf("fraction = %v", h.Fraction(5))
+	}
+	b := h.Buckets()
+	if len(b) != 2 || b[0] != 1 || b[1] != 5 {
+		t.Fatalf("buckets = %v", b)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF()
+	if c.At(10) != 0 || c.Quantile(0.5) != 0 {
+		t.Fatal("empty CDF should be zero")
+	}
+	c.Add(10, 1)
+	c.Add(20, 1)
+	c.Add(30, 2)
+	if got := c.At(10); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("At(10) = %v, want 0.25", got)
+	}
+	if got := c.At(25); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(25) = %v, want 0.5", got)
+	}
+	if got := c.At(30); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("At(30) = %v, want 1", got)
+	}
+	if q := c.Quantile(0.5); q != 20 {
+		t.Fatalf("median = %v, want 20", q)
+	}
+	if q := c.Quantile(0.9); q != 30 {
+		t.Fatalf("p90 = %v, want 30", q)
+	}
+	xs, fr := c.Points()
+	if len(xs) != 3 || xs[2] != 30 || math.Abs(fr[2]-1) > 1e-12 {
+		t.Fatalf("points = %v %v", xs, fr)
+	}
+}
+
+func TestCDFUnsortedInput(t *testing.T) {
+	c := NewCDF()
+	c.Add(30, 1)
+	c.Add(10, 1)
+	c.Add(20, 1)
+	if got := c.At(15); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("At(15) = %v, want 1/3", got)
+	}
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations and reports mean, variance,
+// and a 95% confidence interval. It mirrors how the paper reports results:
+// "we launch measurements from checkpoints ... along with the 95% confidence
+// intervals produced by our sampling methodology." Observations here are
+// per-batch performance metrics from independently seeded simulation
+// batches (batch means method).
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations (Welford)
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean,
+// using Student's t for small n (two-sided, df = n-1).
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return tCritical95(s.n-1) * s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// String renders "mean ± ci".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f", s.Mean(), s.CI95())
+}
+
+// tCritical95 returns the two-sided 95% critical value of Student's t for
+// the given degrees of freedom. Values for df <= 30 are tabulated; above
+// that the normal approximation (1.960) is used.
+func tCritical95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+		2.042,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
+}
+
+// Histogram is a fixed-bucket counting histogram over int64 values. The
+// trace characterization uses it for reuse-distance and sharer counting.
+type Histogram struct {
+	buckets map[int64]uint64
+	total   uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int64]uint64)}
+}
+
+// Add increments the count of bucket b by one.
+func (h *Histogram) Add(b int64) { h.AddN(b, 1) }
+
+// AddN increments the count of bucket b by n.
+func (h *Histogram) AddN(b int64, n uint64) {
+	h.buckets[b] += n
+	h.total += n
+}
+
+// Count returns the count in bucket b.
+func (h *Histogram) Count(b int64) uint64 { return h.buckets[b] }
+
+// Total returns the sum of all bucket counts.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Buckets returns the non-empty bucket keys in ascending order.
+func (h *Histogram) Buckets() []int64 {
+	ks := make([]int64, 0, len(h.buckets))
+	for k := range h.buckets {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Fraction returns the fraction of observations in bucket b (0 if empty).
+func (h *Histogram) Fraction(b int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.buckets[b]) / float64(h.total)
+}
+
+// CDF is an empirical cumulative distribution over (x, weight) points.
+// Figure 4 of the paper plots working-set CDFs: x is a footprint in KB and
+// the weight is the number of L2 references to blocks within that
+// footprint.
+type CDF struct {
+	xs      []float64
+	ws      []float64
+	totalW  float64
+	sorted  bool
+	samples int
+}
+
+// NewCDF returns an empty CDF.
+func NewCDF() *CDF { return &CDF{} }
+
+// Add records a point with the given weight.
+func (c *CDF) Add(x, weight float64) {
+	c.xs = append(c.xs, x)
+	c.ws = append(c.ws, weight)
+	c.totalW += weight
+	c.sorted = false
+	c.samples++
+}
+
+func (c *CDF) sort() {
+	if c.sorted {
+		return
+	}
+	idx := make([]int, len(c.xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return c.xs[idx[i]] < c.xs[idx[j]] })
+	xs := make([]float64, len(c.xs))
+	ws := make([]float64, len(c.ws))
+	for i, id := range idx {
+		xs[i], ws[i] = c.xs[id], c.ws[id]
+	}
+	c.xs, c.ws = xs, ws
+	c.sorted = true
+}
+
+// At returns the cumulative fraction of weight at or below x.
+func (c *CDF) At(x float64) float64 {
+	if c.totalW == 0 {
+		return 0
+	}
+	c.sort()
+	// Binary search for the first index with xs > x.
+	i := sort.SearchFloat64s(c.xs, x+1e-12)
+	sum := 0.0
+	for j := 0; j < i; j++ {
+		sum += c.ws[j]
+	}
+	return sum / c.totalW
+}
+
+// Quantile returns the smallest x such that At(x) >= q.
+func (c *CDF) Quantile(q float64) float64 {
+	if c.totalW == 0 || len(c.xs) == 0 {
+		return 0
+	}
+	c.sort()
+	target := q * c.totalW
+	sum := 0.0
+	for i := range c.xs {
+		sum += c.ws[i]
+		if sum >= target {
+			return c.xs[i]
+		}
+	}
+	return c.xs[len(c.xs)-1]
+}
+
+// Points returns (x, cumulative fraction) pairs at each distinct x, suitable
+// for plotting. Consecutive duplicates of x are merged.
+func (c *CDF) Points() (xs, fracs []float64) {
+	if c.totalW == 0 {
+		return nil, nil
+	}
+	c.sort()
+	sum := 0.0
+	for i := 0; i < len(c.xs); i++ {
+		sum += c.ws[i]
+		if i+1 < len(c.xs) && c.xs[i+1] == c.xs[i] {
+			continue
+		}
+		xs = append(xs, c.xs[i])
+		fracs = append(fracs, sum/c.totalW)
+	}
+	return xs, fracs
+}
+
+// Samples returns the number of Add calls.
+func (c *CDF) Samples() int { return c.samples }

@@ -1,0 +1,94 @@
+// Package trace defines the memory-reference representation shared by the
+// workload generators, the characterization analyses, and the simulator,
+// plus the trace analyses that regenerate the paper's characterization
+// figures:
+//
+//   - Figure 2: L2 reference clustering (sharer count x read-write
+//     behavior, bubble sized by access count, split instruction/data);
+//   - Figure 3: L2 reference breakdown by access class;
+//   - Figure 4: per-class working-set CDFs;
+//   - Figure 5: instruction and shared-data reuse histograms.
+//
+// References model the L2 access stream (i.e. L1 misses), which is the
+// granularity at which the paper characterizes workloads (§3.1).
+package trace
+
+import (
+	"rnuca/internal/cache"
+)
+
+// Kind is the access type.
+type Kind uint8
+
+// Access kinds.
+const (
+	IFetch Kind = iota
+	Load
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	default:
+		return "store"
+	}
+}
+
+// Ref is one L2 reference.
+type Ref struct {
+	// Core is the requesting core (tile) ID.
+	Core int
+	// Thread is the software thread issuing the access; it differs from
+	// Core only after a migration.
+	Thread int
+	// Kind is the access type.
+	Kind Kind
+	// Addr is the physical byte address.
+	Addr uint64
+	// Class is the generator's ground-truth class, used by accounting and
+	// by the classification-accuracy experiment (the OS layer must
+	// rediscover it).
+	Class cache.Class
+	// Busy is the number of core cycles of useful work preceding this
+	// reference (instructions executed at IPC 1).
+	Busy int
+}
+
+// BlockAddr returns the 64-byte-block-aligned address.
+func (r Ref) BlockAddr() cache.Addr { return cache.Addr(r.Addr &^ 63) }
+
+// IsWrite reports whether the reference modifies the block.
+func (r Ref) IsWrite() bool { return r.Kind == Store }
+
+// Stream produces references for one core. Generators return one stream
+// per core; streams are infinite (workloads loop over their footprints).
+type Stream interface {
+	// Next returns the core's next reference.
+	Next() Ref
+}
+
+// SliceStream adapts a finite []Ref into a Stream that loops.
+type SliceStream struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceStream wraps refs; it panics on an empty slice.
+func NewSliceStream(refs []Ref) *SliceStream {
+	if len(refs) == 0 {
+		panic("trace: empty slice stream")
+	}
+	return &SliceStream{refs: refs}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() Ref {
+	r := s.refs[s.pos]
+	s.pos = (s.pos + 1) % len(s.refs)
+	return r
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+
+	"rnuca/internal/cache"
+)
+
+func TestMigrationRotatesThreads(t *testing.T) {
+	spec := MIX()
+	spec.MigrationPeriod = 100
+	g := NewGenerator(spec, 3)
+	// First 100 refs: thread 3. Next 100: thread 4. Then 5, ...
+	for i := 0; i < 100; i++ {
+		if r := g.Next(); r.Thread != 3 {
+			t.Fatalf("ref %d: thread %d before first rotation", i, r.Thread)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if r := g.Next(); r.Thread != 4 {
+			t.Fatalf("post-rotation thread %d, want 4", r.Thread)
+		}
+	}
+	g2 := NewGenerator(spec, 7)
+	for i := 0; i < 100; i++ {
+		g2.Next()
+	}
+	if r := g2.Next(); r.Thread != 0 {
+		t.Fatalf("core 7 should wrap to thread 0, got %d", r.Thread)
+	}
+}
+
+func TestMigrationKeepsThreadAssignmentAPermutation(t *testing.T) {
+	spec := MIX()
+	spec.MigrationPeriod = 50
+	streams := make([]*Generator, spec.Cores)
+	for c := range streams {
+		streams[c] = NewGenerator(spec, c)
+	}
+	// Generate in lockstep; at every instant the thread set must be a
+	// permutation of the cores.
+	for step := 0; step < 300; step++ {
+		seen := map[int]bool{}
+		for _, g := range streams {
+			r := g.Next()
+			if seen[r.Thread] {
+				t.Fatalf("step %d: duplicate thread %d", step, r.Thread)
+			}
+			seen[r.Thread] = true
+		}
+	}
+}
+
+func TestPrivateDataFollowsThread(t *testing.T) {
+	spec := MIX()
+	spec.MigrationPeriod = 100
+	spec.MixedPrivFrac = 0 // keep all private refs in the private region
+	g := NewGenerator(spec, 2)
+	region := func(addr uint64) int { return int((addr - privateBase) / privateStep) }
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if r.Class != cache.ClassPrivate {
+			continue
+		}
+		if got := region(r.Addr); got != r.Thread {
+			t.Fatalf("private ref in region %d but thread %d", got, r.Thread)
+		}
+	}
+}
+
+func TestHeteroFootprints(t *testing.T) {
+	spec := MIXHetero()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Big thread (core 0) must range beyond the small thread's footprint.
+	gBig := NewGenerator(spec, 0)
+	gSmall := NewGenerator(spec, 1)
+	maxOf := func(g *Generator, n int) uint64 {
+		var m uint64
+		for i := 0; i < n; i++ {
+			r := g.Next()
+			if r.Class == cache.ClassPrivate && r.Addr >= privateBase {
+				off := (r.Addr - privateBase) % privateStep
+				if off > m {
+					m = off
+				}
+			}
+		}
+		return m
+	}
+	big, small := maxOf(gBig, 50000), maxOf(gSmall, 50000)
+	if big <= uint64(spec.PrivateFootprints[1]) {
+		t.Fatalf("big thread range %d within small footprint", big)
+	}
+	if small >= uint64(spec.PrivateFootprints[1]) {
+		t.Fatalf("small thread escaped its %d footprint: %d", spec.PrivateFootprints[1], small)
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	s := MIXHetero()
+	s.PrivateFootprints = []int64{1}
+	if s.Validate() == nil {
+		t.Fatal("footprint-count mismatch accepted")
+	}
+	s = MIXHetero()
+	s.PrivateFootprints[2] = 0
+	if s.Validate() == nil {
+		t.Fatal("zero footprint accepted")
+	}
+	s = MIXHetero()
+	s.MigrationPeriod = 100
+	if s.Validate() == nil {
+		t.Fatal("migration + hetero accepted")
+	}
+}
+
+func TestMigratingSpecRunsThroughOS(t *testing.T) {
+	// Smoke: the migrating spec validates and produces refs whose thread
+	// differs from core after the period.
+	spec := MIXMigrating()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(spec, 0)
+	for i := 0; i < spec.MigrationPeriod; i++ {
+		g.Next()
+	}
+	if r := g.Next(); r.Thread == r.Core {
+		t.Fatal("no rotation after period")
+	}
+}

@@ -1,0 +1,305 @@
+// Package rnuca is a from-scratch Go reproduction of
+//
+//	Hardavellas, Ferdman, Falsafi, Ailamaki.
+//	"Reactive NUCA: Near-Optimal Block Placement and Replication in
+//	Distributed Caches." ISCA 2009.
+//
+// It provides the R-NUCA cache design (OS-cooperative page classification,
+// rotational interleaving, clustered replication) together with every
+// substrate the paper's evaluation needs: a tiled-CMP timing model with a
+// 2-D folded-torus NoC, set-associative cache structures, a full-map MOSI
+// directory, the OS page-classification layer, the four competing designs
+// (private, ASR, shared, ideal), statistical workload generators
+// calibrated to the paper's characterization, and the trace analyses and
+// benchmark harness that regenerate every figure and table.
+//
+// Quick start:
+//
+//	res := rnuca.Run(rnuca.OLTPDB2(), rnuca.DesignRNUCA, rnuca.Options{})
+//	fmt.Printf("CPI %.3f, off-chip misses %d\n", res.CPI(), res.OffChipMisses)
+//
+// Compare designs the way Figure 12 does:
+//
+//	cmp := rnuca.Compare(rnuca.OLTPDB2(), rnuca.AllDesigns(), rnuca.Options{})
+//	fmt.Printf("R-NUCA speedup over private: %+.1f%%\n",
+//	    100*cmp[rnuca.DesignRNUCA].Speedup(cmp[rnuca.DesignPrivate].Result))
+package rnuca
+
+import (
+	"fmt"
+
+	"rnuca/internal/design"
+	"rnuca/internal/sim"
+	"rnuca/internal/stats"
+	"rnuca/internal/workload"
+)
+
+// DesignID names one of the five evaluated L2 organizations.
+type DesignID string
+
+// The five designs of §5.1.
+const (
+	DesignPrivate DesignID = "P"
+	DesignASR     DesignID = "A"
+	DesignShared  DesignID = "S"
+	DesignRNUCA   DesignID = "R"
+	DesignIdeal   DesignID = "I"
+)
+
+// AllDesigns returns the designs in the paper's P/A/S/R/I order.
+func AllDesigns() []DesignID {
+	return []DesignID{DesignPrivate, DesignASR, DesignShared, DesignRNUCA, DesignIdeal}
+}
+
+// Workload re-exports the workload specification type.
+type Workload = workload.Spec
+
+// Re-exported workload constructors (Table 1 right + §3.1).
+var (
+	OLTPDB2    = workload.OLTPDB2
+	OLTPOracle = workload.OLTPOracle
+	Apache     = workload.Apache
+	DSSQry6    = workload.DSSQry6
+	DSSQry8    = workload.DSSQry8
+	DSSQry13   = workload.DSSQry13
+	Em3d       = workload.Em3d
+	MIX        = workload.MIX
+	Primary    = workload.Primary
+	Extended   = workload.Extended
+)
+
+// Options tunes a simulation run. The zero value gives sensible defaults.
+type Options struct {
+	// Warm is the number of chip-wide references run before measurement
+	// (cache/TLB/page-table warmup, like the paper's checkpoint warming).
+	// 0 means the default.
+	Warm int
+	// Measure is the number of measured references. 0 means the default.
+	Measure int
+	// Batches > 1 runs that many independently-seeded measurements and
+	// reports mean CPI with a 95% confidence interval, mirroring the
+	// paper's sampling methodology. 0 or 1 means a single batch.
+	Batches int
+	// InstrClusterSize overrides R-NUCA's instruction cluster size
+	// (Figure 11 ablation). 0 means the configuration default (4).
+	InstrClusterSize int
+	// PrivateClusterSize > 1 enables the §4.4 extension: R-NUCA spills
+	// private data over fixed-center clusters of this many slices.
+	PrivateClusterSize int
+	// Config overrides the CMP configuration. Nil selects Config16 or
+	// Config8 to match the workload's core count, as the paper does.
+	Config *sim.Config
+}
+
+func (o Options) withDefaults(w Workload) Options {
+	if o.Warm == 0 {
+		o.Warm = 200_000
+	}
+	if o.Measure == 0 {
+		o.Measure = 400_000
+	}
+	if o.Batches == 0 {
+		o.Batches = 1
+	}
+	if o.Config == nil {
+		cfg := ConfigFor(w)
+		o.Config = &cfg
+	}
+	if o.InstrClusterSize != 0 {
+		cfg := *o.Config
+		cfg.InstrClusterSize = o.InstrClusterSize
+		o.Config = &cfg
+	}
+	return o
+}
+
+// ConfigFor returns the Table 1 configuration matching a workload's core
+// count: the 16-core CMP for server/scientific workloads, the 8-core CMP
+// for multi-programmed ones.
+func ConfigFor(w Workload) sim.Config {
+	if w.Cores == 8 {
+		return sim.Config8()
+	}
+	cfg := sim.Config16()
+	if w.Cores != cfg.Cores {
+		// Non-standard core counts build a square-ish grid.
+		cfg.Cores = w.Cores
+		cfg.GridW, cfg.GridH = gridFor(w.Cores)
+	}
+	return cfg
+}
+
+func gridFor(n int) (int, int) {
+	w := 1
+	for w*w < n {
+		w++
+	}
+	for n%w != 0 {
+		w++
+	}
+	return w, n / w
+}
+
+// Result is one design's measured performance on one workload.
+type Result struct {
+	sim.Result
+	// CPIMean/CPICI are the batch statistics when Options.Batches > 1
+	// (CPIMean equals Result.CPI() for single batches).
+	CPIMean float64
+	CPICI   float64
+}
+
+// NewDesign constructs a design instance on a chassis. ASR here is the
+// adaptive variant; use RunASRBest for the paper's best-of-six
+// methodology.
+func NewDesign(id DesignID, ch *sim.Chassis) sim.Design {
+	switch id {
+	case DesignPrivate:
+		return design.NewPrivate(ch)
+	case DesignASR:
+		return design.NewAdaptiveASR(ch, 0xA5A5)
+	case DesignShared:
+		return design.NewShared(ch)
+	case DesignRNUCA:
+		return design.NewReactive(ch)
+	case DesignIdeal:
+		return design.NewIdeal(ch)
+	default:
+		panic(fmt.Sprintf("rnuca: unknown design %q", id))
+	}
+}
+
+// RunWith simulates one workload on a custom design built by mk — used by
+// the experiment harness for ASR variants and design ablations.
+func RunWith(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Result {
+	opt = opt.withDefaults(w)
+	return runBatches(w, opt, mk)
+}
+
+// Run simulates one workload on one design.
+func Run(w Workload, id DesignID, opt Options) Result {
+	opt = opt.withDefaults(w)
+	if id == DesignASR {
+		return runASRBest(w, opt)
+	}
+	if id == DesignRNUCA && opt.PrivateClusterSize > 1 {
+		size := opt.PrivateClusterSize
+		return runBatches(w, opt, func(ch *sim.Chassis) sim.Design {
+			return design.NewReactiveWithPrivateClusters(ch, size)
+		})
+	}
+	return runBatches(w, opt, func(ch *sim.Chassis) sim.Design { return NewDesign(id, ch) })
+}
+
+// runBatches executes opt.Batches independently-seeded runs and folds the
+// results.
+func runBatches(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Result {
+	var out Result
+	var cpi stats.Summary
+	for b := 0; b < opt.Batches; b++ {
+		ws := w
+		ws.Seed = w.Seed + uint64(b)*0x9E37
+		ch := sim.NewChassis(*opt.Config)
+		d := mk(ch)
+		eng := sim.NewEngine(ch, d, workload.Streams(ws))
+		eng.OffChipMLP = ws.OffChipMLP
+		res := eng.Run(opt.Warm, opt.Measure)
+		res.Workload = w.Name
+		cpi.Add(res.CPI())
+		if b == 0 {
+			out.Result = res
+		} else {
+			out.Result = mergeResults(out.Result, res)
+		}
+	}
+	out.CPIMean = cpi.Mean()
+	out.CPICI = cpi.CI95()
+	return out
+}
+
+// mergeResults averages two results' accumulators (batch means).
+func mergeResults(a, b sim.Result) sim.Result {
+	a.Instructions += b.Instructions
+	a.Refs += b.Refs
+	a.Cycles += b.Cycles
+	a.OffChipMisses += b.OffChipMisses
+	a.MixedPageAccesses += b.MixedPageAccesses
+	a.MisclassifiedAccesses += b.MisclassifiedAccesses
+	a.ClassifiedAccesses += b.ClassifiedAccesses
+	a.NetMessages += b.NetMessages
+	a.NetFlitHops += b.NetFlitHops
+	a.NetWaitCycles += b.NetWaitCycles
+	for i := range a.CPIStack {
+		a.CPIStack[i] = (a.CPIStack[i] + b.CPIStack[i]) / 2
+	}
+	for c := range a.ClassCycles {
+		for i := range a.ClassCycles[c] {
+			a.ClassCycles[c][i] = (a.ClassCycles[c][i] + b.ClassCycles[c][i]) / 2
+		}
+	}
+	return a
+}
+
+// runASRBest implements the paper's ASR methodology (§5.1): six variants
+// (adaptive plus five static probabilities), report the best-performing.
+func runASRBest(w Workload, opt Options) Result {
+	best := Result{}
+	bestCPI := 0.0
+	for i, mk := range []func(*sim.Chassis) sim.Design{
+		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0, 0xA5A5) },
+		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0.25, 0xA5A5) },
+		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0.5, 0xA5A5) },
+		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0.75, 0xA5A5) },
+		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 1, 0xA5A5) },
+		func(ch *sim.Chassis) sim.Design { return design.NewAdaptiveASR(ch, 0xA5A5) },
+	} {
+		r := runBatches(w, opt, mk)
+		if i == 0 || r.CPI() < bestCPI {
+			best, bestCPI = r, r.CPI()
+		}
+	}
+	best.Design = "A"
+	return best
+}
+
+// Compare runs several designs on one workload with identical streams.
+func Compare(w Workload, ids []DesignID, opt Options) map[DesignID]Result {
+	out := make(map[DesignID]Result, len(ids))
+	for _, id := range ids {
+		out[id] = Run(w, id, opt)
+	}
+	return out
+}
+
+// SpeedupCI is a matched-pair speedup estimate: both designs run on
+// identical per-batch reference streams (same seeds), so each batch
+// yields one paired speedup observation; the mean and 95% CI are computed
+// over those pairs. This mirrors how the paper's sampling methodology
+// puts confidence intervals on the Figure 12 speedups rather than on raw
+// CPIs.
+type SpeedupCI struct {
+	Mean float64
+	CI95 float64
+	N    int
+}
+
+// CompareCI measures the speedup of design a over design b on matched
+// batches. Batches defaults to 5 when the option is unset or 1 (a single
+// pair has no interval).
+func CompareCI(w Workload, a, b DesignID, opt Options) SpeedupCI {
+	opt = opt.withDefaults(w)
+	if opt.Batches < 2 {
+		opt.Batches = 5
+	}
+	var s stats.Summary
+	for batch := 0; batch < opt.Batches; batch++ {
+		ws := w
+		ws.Seed = w.Seed + uint64(batch)*0x9E37
+		single := opt
+		single.Batches = 1
+		ra := runBatches(ws, single, func(ch *sim.Chassis) sim.Design { return NewDesign(a, ch) })
+		rb := runBatches(ws, single, func(ch *sim.Chassis) sim.Design { return NewDesign(b, ch) })
+		s.Add(ra.Speedup(rb.Result))
+	}
+	return SpeedupCI{Mean: s.Mean(), CI95: s.CI95(), N: s.N()}
+}
