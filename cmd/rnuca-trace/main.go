@@ -1,0 +1,234 @@
+// Command rnuca-trace captures, inspects, and replays L2 reference
+// traces in the tracefile format (see internal/tracefile).
+//
+// Usage:
+//
+//	rnuca-trace record -workload OLTP-DB2 [-design R] [-warm N]
+//	            [-measure N] [-seed S] -o trace.rnt
+//	rnuca-trace info trace.rnt
+//	rnuca-trace replay [-design R | -design P,A,S,R,I | -design all]
+//	            [-warm N] [-measure N] [-batches B] trace.rnt
+//
+// record runs a workload through a design once and tees the consumed
+// reference stream to disk. info prints the header and a scan summary.
+// replay re-runs any of the five designs over the saved trace, in
+// parallel across designs and batches, skipping generation cost; a
+// same-design replay reproduces the recording run's numbers exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rnuca"
+	"rnuca/internal/tracefile"
+	"rnuca/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rnuca-trace record -workload NAME [-design R] [-warm N] [-measure N] [-seed S] -o FILE
+  rnuca-trace info FILE
+  rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] FILE`)
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseDesign(s string) rnuca.DesignID {
+	id := rnuca.DesignID(strings.ToUpper(s))
+	for _, d := range rnuca.AllDesigns() {
+		if id == d {
+			return id
+		}
+	}
+	fatalf("unknown design %q (P, A, S, R, I)", s)
+	panic("unreachable")
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wl := fs.String("workload", "OLTP-DB2", "workload name (see rnuca-sim -list)")
+	ds := fs.String("design", "R", "design the recording run uses: P, A, S, R or I")
+	warm := fs.Int("warm", 0, "warmup references (0 = default)")
+	measure := fs.Int("measure", 0, "measured references (0 = default)")
+	seed := fs.Uint64("seed", 0, "workload seed override (0 = workload default)")
+	out := fs.String("o", "", "output trace path (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatalf("record: -o is required")
+	}
+	w, ok := workload.ByName(*wl)
+	if !ok {
+		fatalf("unknown workload %q", *wl)
+	}
+	if *seed != 0 {
+		w.Seed = *seed
+	}
+	id := parseDesign(*ds)
+
+	res, err := rnuca.Record(w, id, rnuca.Options{Warm: *warm, Measure: *measure}, *out)
+	if err != nil {
+		fatalf("record: %v", err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatalf("record: %v", err)
+	}
+	f, err := tracefile.Open(*out)
+	if err != nil {
+		fatalf("record: %v", err)
+	}
+	total := f.Header().Refs
+	f.Close()
+	fmt.Printf("recorded %s under %s: %d measured refs, CPI %.4f\n", w.Name, id, res.Refs, res.CPI())
+	fmt.Printf("  %s: %d refs, %d bytes (%.2f bytes/ref)\n",
+		*out, total, st.Size(), float64(st.Size())/float64(total))
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	f, err := tracefile.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	hdr := f.Header()
+	fmt.Printf("%s: tracefile v%d\n", path, tracefile.Version)
+	fmt.Printf("  workload     %s (%d cores, seed %d)\n", hdr.Workload, hdr.Cores, hdr.Seed)
+	fmt.Printf("  recorded by  design %s, warm %d + measure %d, off-chip MLP %.2f\n",
+		orNone(hdr.Design), hdr.Warm, hdr.Measure, hdr.OffChipMLP)
+	if hdr.Refs > 0 {
+		fmt.Printf("  declared     %d refs\n", hdr.Refs)
+	} else {
+		fmt.Printf("  declared     streaming (no ref count)\n")
+	}
+
+	var kinds [3]uint64
+	var classes [4]uint64
+	perCore := map[int]uint64{}
+	pages := map[uint64]struct{}{}
+	var total uint64
+	for {
+		r, ok := f.Next()
+		if !ok {
+			break
+		}
+		total++
+		kinds[r.Kind]++
+		classes[r.Class]++
+		perCore[r.Core]++
+		pages[r.Addr>>13] = struct{}{}
+	}
+	if err := f.Err(); err != nil {
+		fatalf("scan after %d refs: %v", total, err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("  scanned      %d refs, %d distinct 8KB pages, %.2f bytes/ref\n",
+		total, len(pages), float64(st.Size())/float64(total))
+	fmt.Printf("  kinds        ifetch %s, load %s, store %s\n",
+		pct(kinds[0], total), pct(kinds[1], total), pct(kinds[2], total))
+	fmt.Printf("  classes      instr %s, private %s, shared %s\n",
+		pct(classes[1], total), pct(classes[2], total), pct(classes[3], total))
+	cores := make([]int, 0, len(perCore))
+	for c := range perCore {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	fmt.Printf("  per-core     ")
+	for i, c := range cores {
+		if i > 0 {
+			fmt.Printf(" ")
+		}
+		fmt.Printf("%d:%d", c, perCore[c])
+	}
+	fmt.Println()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+func pct(n, total uint64) string {
+	if total == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	ds := fs.String("design", "", "designs to replay: comma-separated P,A,S,R,I or \"all\" (default: the recording design)")
+	warm := fs.Int("warm", 0, "warmup references (0 = recorded split)")
+	measure := fs.Int("measure", 0, "measured references (0 = recorded split)")
+	batches := fs.Int("batches", 1, "parallel replay engines per design")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+
+	f, err := tracefile.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hdr := f.Header()
+	f.Close()
+
+	var ids []rnuca.DesignID
+	switch {
+	case *ds == "" && hdr.Design != "":
+		ids = []rnuca.DesignID{parseDesign(hdr.Design)}
+	case *ds == "" || strings.EqualFold(*ds, "all"):
+		ids = rnuca.AllDesigns()
+	default:
+		for _, s := range strings.Split(*ds, ",") {
+			ids = append(ids, parseDesign(strings.TrimSpace(s)))
+		}
+	}
+
+	opt := rnuca.Options{Warm: *warm, Measure: *measure, Batches: *batches}
+	results, err := rnuca.ReplayCompare(path, ids, opt)
+	if err != nil {
+		fatalf("replay: %v", err)
+	}
+
+	fmt.Printf("replay of %s (%s, %d cores)\n", path, hdr.Workload, hdr.Cores)
+	base := results[ids[0]]
+	fmt.Printf("  %-6s %-8s %-10s %-9s %s\n", "design", "CPI", "off-chip", "net-msgs", "speedup vs "+string(ids[0]))
+	for _, id := range ids {
+		r := results[id]
+		fmt.Printf("  %-6s %-8.4f %-10d %-9d %+.1f%%\n",
+			id, r.CPI(), r.OffChipMisses, r.NetMessages, 100*r.Speedup(base.Result))
+	}
+}

@@ -1,0 +1,3 @@
+module rnuca
+
+go 1.21

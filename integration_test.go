@@ -1,12 +1,15 @@
 package rnuca_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rnuca"
 	"rnuca/internal/cache"
 	"rnuca/internal/design"
 	"rnuca/internal/sim"
+	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
 )
 
@@ -100,6 +103,73 @@ func TestIntegrationBitIdentical(t *testing.T) {
 		a.NetMessages != b.NetMessages || a.NetFlitHops != b.NetFlitHops ||
 		a.MisclassifiedAccesses != b.MisclassifiedAccesses {
 		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// Trace capture/replay, end to end: recording an OLTP run under R-NUCA
+// and replaying the trace must reproduce the live-generated Result bit
+// for bit — same CPI stack, miss counts, and traffic — and the trace
+// header must carry the run's provenance.
+func TestIntegrationRecordReplay(t *testing.T) {
+	w := rnuca.OLTPDB2()
+	opt := rnuca.Options{Warm: 5_000, Measure: 15_000}
+	path := filepath.Join(t.TempDir(), "oltp.rnt")
+
+	live := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+	rec, err := rnuca.Record(w, rnuca.DesignRNUCA, opt, path)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if rec.Result != live.Result {
+		t.Fatalf("recording run diverged from live run:\n%+v\n%+v", rec.Result, live.Result)
+	}
+
+	f, err := tracefile.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	hdr := f.Header()
+	f.Close()
+	if hdr.Workload != w.Name || hdr.Design != "R" || hdr.Cores != w.Cores {
+		t.Fatalf("header provenance %+v", hdr)
+	}
+	if want := uint64(opt.Warm + opt.Measure); hdr.Refs != want {
+		t.Fatalf("header declares %d refs, run consumed %d", hdr.Refs, want)
+	}
+
+	rep, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.Result != live.Result {
+		t.Fatalf("replay diverged from live run:\n%+v\n%+v", rep.Result, live.Result)
+	}
+
+	// A different design replays the same trace without error (its result
+	// legitimately differs from its own live run — the reference schedule
+	// is the recorded one).
+	if _, err := rnuca.Replay(path, rnuca.DesignShared, rnuca.Options{}); err != nil {
+		t.Fatalf("cross-design replay: %v", err)
+	}
+
+	// A replay asking for more refs than the trace holds would recycle
+	// recorded references; it must be refused up front.
+	if _, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{Measure: 50_000}); err == nil {
+		t.Fatal("oversized replay accepted")
+	}
+
+	// A truncated trace must fail the replay with an error, never panic
+	// or silently loop over the readable prefix.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.rnt")
+	if err := os.WriteFile(trunc, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rnuca.Replay(trunc, rnuca.DesignRNUCA, rnuca.Options{}); err == nil {
+		t.Fatal("truncated trace replayed without error")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"rnuca"
 	"rnuca/internal/sim"
 	"rnuca/internal/trace"
+	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
 )
 
@@ -44,6 +45,7 @@ type Campaign struct {
 	Scale   Scale
 	results map[string]map[rnuca.DesignID]rnuca.Result
 	rnucaBy map[string]map[int]rnuca.Result // cluster-size sweep cache
+	traces  map[string]string              // workload name -> trace path
 }
 
 // NewCampaign builds an empty campaign at the given scale.
@@ -52,7 +54,29 @@ func NewCampaign(s Scale) *Campaign {
 		Scale:   s,
 		results: map[string]map[rnuca.DesignID]rnuca.Result{},
 		rnucaBy: map[string]map[int]rnuca.Result{},
+		traces:  map[string]string{},
 	}
+}
+
+// UseTrace registers a recorded trace for a workload: subsequent runs for
+// that workload replay the trace instead of generating references, so a
+// campaign over saved traces pays generation cost zero times. The §3
+// characterization analyses read the same trace.
+func (c *Campaign) UseTrace(workloadName, path string) {
+	c.traces[workloadName] = path
+}
+
+// run dispatches one workload x design simulation to the generator or to
+// a registered trace.
+func (c *Campaign) run(w rnuca.Workload, id rnuca.DesignID, opt rnuca.Options) rnuca.Result {
+	if path, ok := c.traces[w.Name]; ok {
+		r, err := rnuca.Replay(path, id, opt)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", path, w.Name, err))
+		}
+		return r
+	}
+	return rnuca.Run(w, id, opt)
 }
 
 func (c *Campaign) opts() rnuca.Options {
@@ -75,18 +99,28 @@ func (c *Campaign) Result(w rnuca.Workload, id rnuca.DesignID) rnuca.Result {
 	if id == rnuca.DesignASR && !c.Scale.ASRBest {
 		r = c.runAdaptiveASR(w, opt)
 	} else {
-		r = rnuca.Run(w, id, opt)
+		r = c.run(w, id, opt)
 	}
 	m[id] = r
 	return r
 }
 
+// runAdaptiveASR runs the cheap single-variant ASR (Scale.ASRBest off),
+// replaying when a trace is registered so the methodology matches the
+// generator path. Full-methodology ASR goes through c.run, where both
+// rnuca.Run and rnuca.Replay apply the best-of-six sweep.
 func (c *Campaign) runAdaptiveASR(w rnuca.Workload, opt rnuca.Options) rnuca.Result {
+	mk := func(ch *sim.Chassis) sim.Design { return rnuca.NewDesign(rnuca.DesignASR, ch) }
+	if path, ok := c.traces[w.Name]; ok {
+		r, err := rnuca.ReplayWith(path, opt, mk)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", path, w.Name, err))
+		}
+		return r
+	}
 	cfg := rnuca.ConfigFor(w)
 	opt.Config = &cfg
-	return rnuca.RunWith(w, opt, func(ch *sim.Chassis) sim.Design {
-		return rnuca.NewDesign(rnuca.DesignASR, ch)
-	})
+	return rnuca.RunWith(w, opt, mk)
 }
 
 // RNUCAWithClusterSize returns (running on demand) R-NUCA with the given
@@ -102,18 +136,47 @@ func (c *Campaign) RNUCAWithClusterSize(w rnuca.Workload, size int) rnuca.Result
 	}
 	opt := c.opts()
 	opt.InstrClusterSize = size
-	r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+	r := c.run(w, rnuca.DesignRNUCA, opt)
 	m[size] = r
 	return r
 }
 
-// analyze feeds TraceRefs references of a workload (round-robin across
-// cores) through a fresh analyzer.
+// analyze feeds TraceRefs references of a workload through a fresh
+// analyzer — from the registered trace when one exists (re-reading the
+// file as often as needed to reach the count), from the generator
+// otherwise.
 func (c *Campaign) analyze(w rnuca.Workload) *trace.Analyzer {
 	an := trace.NewAnalyzer(w.Cores)
-	streams := workload.Streams(w)
+	if path, ok := c.traces[w.Name]; ok {
+		for seen := 0; seen < c.Scale.TraceRefs; {
+			f, err := tracefile.Open(path)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
+			}
+			n := 0
+			for seen < c.Scale.TraceRefs {
+				r, ok := f.Next()
+				if !ok {
+					break
+				}
+				an.Observe(r)
+				seen++
+				n++
+			}
+			f.Close()
+			if err := f.Err(); err != nil {
+				panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
+			}
+			if n == 0 {
+				panic(fmt.Sprintf("experiments: trace %s holds no refs", path))
+			}
+		}
+		return an
+	}
+	src := workload.Source(w)
 	for i := 0; i < c.Scale.TraceRefs; i++ {
-		an.Observe(streams[i%len(streams)].Next())
+		r, _ := src.Next()
+		an.Observe(r)
 	}
 	return an
 }

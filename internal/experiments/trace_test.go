@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rnuca"
+)
+
+// A campaign backed by a recorded trace replays instead of generating,
+// and its same-design results match the live run that recorded the
+// trace; the §3 characterization analyses read the trace too.
+func TestCampaignUseTrace(t *testing.T) {
+	w := rnuca.OLTPDB2()
+	scale := Scale{Warm: 4_000, Measure: 10_000, TraceRefs: 8_000, Batches: 1}
+	opt := rnuca.Options{Warm: scale.Warm, Measure: scale.Measure}
+	path := filepath.Join(t.TempDir(), "oltp.rnt")
+
+	live, err := rnuca.Record(w, rnuca.DesignRNUCA, opt, path)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+
+	c := NewCampaign(scale)
+	c.UseTrace(w.Name, path)
+	if got := c.Result(w, rnuca.DesignRNUCA); got.Result != live.Result {
+		t.Fatalf("trace-backed campaign diverged:\n%+v\n%+v", got.Result, live.Result)
+	}
+	// Other designs replay the same trace without error.
+	if got := c.Result(w, rnuca.DesignShared); got.CPI() <= 0 {
+		t.Fatalf("shared replay CPI %v", got.CPI())
+	}
+
+	// The analyzer consumes the trace (the 14k-ref file covers the 8k
+	// request; shorter traces are re-read in a loop).
+	an := c.analyze(w)
+	if an.Total() != uint64(scale.TraceRefs) {
+		t.Fatalf("analyzer observed %d refs, want %d", an.Total(), scale.TraceRefs)
+	}
+	bd := an.ReferenceBreakdown()
+	if bd.Instructions <= 0 || bd.Instructions >= 1 {
+		t.Fatalf("trace-backed breakdown instruction share %v", bd.Instructions)
+	}
+}

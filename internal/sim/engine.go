@@ -105,6 +105,14 @@ type Engine struct {
 	pageCount map[uint64]uint64
 }
 
+// NewEngineSource builds an engine fed by a multiplexed RefSource (a
+// trace reader, a workload source, or any other implementation) instead
+// of per-core streams: the source is demultiplexed by each ref's Core
+// field, so the engine's min-clock scheduling is unchanged.
+func NewEngineSource(ch *Chassis, d Design, src trace.RefSource) *Engine {
+	return NewEngine(ch, d, trace.Demux(src, ch.Cfg.Cores))
+}
+
 // NewEngine builds an engine. streams must provide one stream per core.
 func NewEngine(ch *Chassis, d Design, streams []trace.Stream) *Engine {
 	if len(streams) != ch.Cfg.Cores {

@@ -1,0 +1,133 @@
+package trace
+
+import "fmt"
+
+// RefSource is a finite or infinite multiplexed reference stream: the
+// refs of all cores interleaved in one sequence, each tagged with its
+// Core. It is the pluggable input of the simulation pipeline — the
+// statistical workload generators, the tracefile reader, and any future
+// external ingester all present this interface, so the engine and the
+// top-level Run/Record/Replay APIs are agnostic to where references come
+// from.
+type RefSource interface {
+	// Next returns the next reference and true, or a zero Ref and false
+	// once the source is exhausted (infinite sources never return false).
+	Next() (Ref, bool)
+}
+
+// Rewinder is optionally implemented by finite RefSources that can
+// restart from their first ref. Demux uses it to loop a source whose
+// consumer needs more refs than the source holds, without retaining
+// every ref in memory.
+type Rewinder interface {
+	// Rewind repositions the source at its first ref. It fails when the
+	// source cannot restart — notably after a read error, so looping
+	// never silently recycles the readable prefix of a damaged source.
+	Rewind() error
+}
+
+// SliceSource adapts a finite []Ref into a rewindable RefSource.
+type SliceSource struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceSource wraps refs without copying.
+func NewSliceSource(refs []Ref) *SliceSource { return &SliceSource{refs: refs} }
+
+// Next implements RefSource.
+func (s *SliceSource) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Rewind implements Rewinder.
+func (s *SliceSource) Rewind() error {
+	s.pos = 0
+	return nil
+}
+
+// Demux splits a multiplexed RefSource into one Stream per core, routing
+// each ref by its Core field. Streams pull from the shared source on
+// demand, buffering refs destined for other cores, so consumption order
+// across cores is free — the engine's min-clock scheduling works
+// unchanged. When a replay consumes cores in the same order the source
+// was recorded in, no buffering happens at all; otherwise memory is
+// bounded by the consumption imbalance, never by the source length.
+//
+// Streams are infinite, as the engine requires: when a finite source is
+// exhausted and it implements Rewinder, the demux rewinds it and keeps
+// routing, so each core's stream loops over its own recorded sequence.
+// A source that cannot rewind, fails to rewind (e.g. a truncated trace
+// refusing to recycle its prefix), or holds no refs at all for a core
+// that asks, panics with a "trace:"-prefixed message — rnuca.Replay
+// converts those into errors.
+func Demux(src RefSource, cores int) []Stream {
+	d := &demux{
+		src:     src,
+		pending: make([][]Ref, cores),
+		head:    make([]int, cores),
+	}
+	out := make([]Stream, cores)
+	for c := range out {
+		out[c] = &demuxStream{d: d, core: c}
+	}
+	return out
+}
+
+type demux struct {
+	src RefSource
+	// pending[c][head[c]:] are refs read from src but not yet consumed by
+	// core c.
+	pending [][]Ref
+	head    []int
+}
+
+type demuxStream struct {
+	d    *demux
+	core int
+}
+
+// Next implements Stream.
+func (s *demuxStream) Next() Ref {
+	d, c := s.d, s.core
+	if d.head[c] < len(d.pending[c]) {
+		r := d.pending[c][d.head[c]]
+		d.head[c]++
+		if d.head[c] == len(d.pending[c]) {
+			d.pending[c] = d.pending[c][:0]
+			d.head[c] = 0
+		}
+		return r
+	}
+	rewound := false
+	for {
+		r, ok := d.src.Next()
+		if !ok {
+			rw, canRewind := d.src.(Rewinder)
+			if !canRewind {
+				panic(fmt.Sprintf("trace: source exhausted with no refs for core %d and no way to rewind", c))
+			}
+			if rewound {
+				// A full pass from the start saw nothing for this core.
+				panic(fmt.Sprintf("trace: source has no refs for core %d", c))
+			}
+			if err := rw.Rewind(); err != nil {
+				panic(fmt.Sprintf("trace: rewinding exhausted source: %v", err))
+			}
+			rewound = true
+			continue
+		}
+		if r.Core < 0 || r.Core >= len(d.pending) {
+			panic(fmt.Sprintf("trace: demux ref for core %d outside 0..%d", r.Core, len(d.pending)-1))
+		}
+		if r.Core == c {
+			return r
+		}
+		d.pending[r.Core] = append(d.pending[r.Core], r)
+	}
+}

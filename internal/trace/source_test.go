@@ -1,0 +1,94 @@
+package trace
+
+import "testing"
+
+func mkRef(core, seq int) Ref {
+	return Ref{Core: core, Thread: core, Addr: uint64(core)<<32 | uint64(seq)<<6, Busy: seq}
+}
+
+// Demux routes refs to per-core streams in source order regardless of the
+// order cores consume them.
+func TestDemuxRouting(t *testing.T) {
+	var refs []Ref
+	// Irregular interleave: core 0 thrice, core 2 twice, core 1 once, ...
+	pattern := []int{0, 0, 2, 1, 0, 2, 2, 2, 1, 0}
+	seq := map[int]int{}
+	for _, c := range pattern {
+		refs = append(refs, mkRef(c, seq[c]))
+		seq[c]++
+	}
+	streams := Demux(NewSliceSource(refs), 3)
+
+	// Consume core 1 first: the demux must buffer core 0/2 refs.
+	if r := streams[1].Next(); r != mkRef(1, 0) {
+		t.Fatalf("core 1 first ref %+v", r)
+	}
+	for i := 0; i < 4; i++ {
+		if r := streams[0].Next(); r != mkRef(0, i) {
+			t.Fatalf("core 0 ref %d: %+v", i, r)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if r := streams[2].Next(); r != mkRef(2, i) {
+			t.Fatalf("core 2 ref %d: %+v", i, r)
+		}
+	}
+	if r := streams[1].Next(); r != mkRef(1, 1) {
+		t.Fatalf("core 1 second ref %+v", r)
+	}
+}
+
+// Once a finite source is exhausted, each stream loops over its own
+// history — the engine requires infinite streams.
+func TestDemuxLoops(t *testing.T) {
+	refs := []Ref{mkRef(0, 0), mkRef(1, 0), mkRef(0, 1)}
+	streams := Demux(NewSliceSource(refs), 2)
+	want := []Ref{mkRef(0, 0), mkRef(0, 1), mkRef(0, 0), mkRef(0, 1), mkRef(0, 0)}
+	for i, w := range want {
+		if r := streams[0].Next(); r != w {
+			t.Fatalf("loop ref %d: %+v != %+v", i, r, w)
+		}
+	}
+	if r := streams[1].Next(); r != mkRef(1, 0) {
+		t.Fatalf("core 1 ref %+v", r)
+	}
+	if r := streams[1].Next(); r != mkRef(1, 0) {
+		t.Fatalf("core 1 looped ref %+v", r)
+	}
+}
+
+// A core the source never mentions cannot produce refs.
+func TestDemuxEmptyCorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for refless core")
+		}
+	}()
+	streams := Demux(NewSliceSource([]Ref{mkRef(0, 0)}), 2)
+	streams[1].Next()
+}
+
+// Out-of-range cores in the source are a programming error, not silent
+// misrouting.
+func TestDemuxBadCorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range core")
+		}
+	}()
+	streams := Demux(NewSliceSource([]Ref{mkRef(5, 0)}), 2)
+	streams[0].Next()
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]Ref{mkRef(0, 0), mkRef(0, 1)})
+	for i := 0; i < 2; i++ {
+		r, ok := s.Next()
+		if !ok || r != mkRef(0, i) {
+			t.Fatalf("ref %d: %+v ok=%v", i, r, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source produced a ref")
+	}
+}

@@ -1,0 +1,60 @@
+// Package tracefile persists L2 reference streams in a compact, versioned
+// binary format, turning the generator-only simulator into a trace-driven
+// one: reference streams can be captured once (from the statistical
+// generators or any other trace.RefSource), stored as deterministic
+// regression corpora, and replayed under any design without paying the
+// generation cost again. cmd/rnuca-trace is the command-line front end;
+// rnuca.Record and rnuca.Replay are the library entry points.
+//
+// # On-disk format (version 1)
+//
+// A trace file is a fixed preamble, a varint-encoded metadata block, a
+// sequence of gzip-framed chunks, and a terminator frame:
+//
+//	offset  size  field
+//	0       4     magic "RNTR"
+//	4       2     format version, uint16 little-endian (currently 1)
+//	6       8     total ref count, uint64 little-endian (0 = unknown;
+//	              patched on Close when the underlying writer can seek)
+//	14      var   uvarint metadata length, then the metadata block
+//
+// The metadata block is a forward-compatible field sequence — readers
+// decode the fields they know and ignore trailing bytes:
+//
+//	uvarint len + bytes   workload name
+//	uvarint len + bytes   design that recorded the trace ("" if none)
+//	uvarint               cores
+//	uvarint               workload seed
+//	uvarint               warmup refs the recording run used
+//	uvarint               measured refs the recording run used
+//	8 bytes               IEEE-754 bits of OffChipMLP, little-endian
+//
+// Each chunk holds up to ChunkRefs records, framed so a reader can
+// stream without decoding ahead and can size its buffers exactly:
+//
+//	uint32 LE  compressed payload length C
+//	uint32 LE  uncompressed payload length
+//	uint32 LE  record count in this chunk
+//	C bytes    gzip-compressed record payload
+//
+// The terminator is a frame with both lengths zero whose record-count
+// field carries the low 32 bits of the file's total ref count, letting
+// readers distinguish clean ends from truncation.
+//
+// # Record encoding
+//
+// Records are delta-encoded against per-core state that resets at every
+// chunk boundary, so chunks are independently decodable:
+//
+//	byte     Kind (low nibble) | Class (high nibble)
+//	uvarint  core
+//	varint   thread - core (0 while no migration is in effect)
+//	varint   addr - previous addr of the same core (two's-complement
+//	         wrap-around arithmetic, so the full uint64 space round-trips)
+//	uvarint  busy cycles
+//
+// Consecutive refs of one core tend to land near each other (Zipf hot
+// sets, sequential scans), so the address deltas are short and the gzip
+// layer squeezes the remaining redundancy; OLTP traces compress to a few
+// bytes per reference.
+package tracefile

@@ -1,0 +1,158 @@
+package tracefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Format constants. See doc.go for the full layout.
+const (
+	// Version is the current on-disk format version.
+	Version = 1
+
+	magic = "RNTR"
+	// countOffset is the byte offset of the patchable total-ref count.
+	countOffset = 6
+
+	// frameSize is the chunk frame header: compressed length,
+	// uncompressed length, record count (all uint32 little-endian).
+	frameSize = 12
+
+	// maxChunkBytes bounds both chunk payload lengths a reader will
+	// accept, so corrupt or adversarial frames cannot force huge
+	// allocations.
+	maxChunkBytes = 1 << 26
+	// maxMetaBytes bounds the header metadata block.
+	maxMetaBytes = 1 << 20
+	// maxCores bounds the per-core delta state a reader will allocate.
+	maxCores = 1 << 12
+
+	// DefaultChunkRefs is the Writer's default records-per-chunk.
+	DefaultChunkRefs = 1 << 15
+)
+
+// ErrCorrupt reports a structurally invalid trace file; errors returned
+// by readers wrap it.
+var ErrCorrupt = errors.New("tracefile: corrupt trace")
+
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Header is the trace metadata carried by the file preamble. It records
+// enough about the originating run for a replay to reconstruct the
+// simulation configuration without consulting the workload catalog.
+type Header struct {
+	// Workload is the workload name ("OLTP-DB2", ...).
+	Workload string
+	// Design is the design that recorded the trace ("R", ...), or ""
+	// when the trace was captured outside a timing run.
+	Design string
+	// Cores is the core count of the recorded reference stream.
+	Cores int
+	// Seed is the workload seed the stream was generated with.
+	Seed uint64
+	// Warm and Measure are the recording run's chip-wide reference
+	// counts; replays default to the same split.
+	Warm, Measure int
+	// OffChipMLP is the workload's memory-level parallelism divisor.
+	OffChipMLP float64
+	// Refs is the total record count, or 0 when the writer could not
+	// seek back to patch it.
+	Refs uint64
+}
+
+// appendUvarint/appendVarint are binary.AppendUvarint/AppendVarint,
+// named locally to keep call sites compact.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeHeader renders the full preamble (magic through metadata block).
+func encodeHeader(h Header) []byte {
+	meta := make([]byte, 0, 64)
+	meta = appendString(meta, h.Workload)
+	meta = appendString(meta, h.Design)
+	meta = appendUvarint(meta, uint64(h.Cores))
+	meta = appendUvarint(meta, h.Seed)
+	meta = appendUvarint(meta, uint64(h.Warm))
+	meta = appendUvarint(meta, uint64(h.Measure))
+	meta = binary.LittleEndian.AppendUint64(meta, math.Float64bits(h.OffChipMLP))
+
+	out := make([]byte, 0, countOffset+8+binary.MaxVarintLen64+len(meta))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, h.Refs)
+	out = appendUvarint(out, uint64(len(meta)))
+	return append(out, meta...)
+}
+
+// metaDecoder walks the metadata block, latching the first error.
+type metaDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *metaDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = corruptf("bad metadata varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *metaDecoder) str() string {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)) {
+		d.err = corruptf("metadata string length %d exceeds block", n)
+	}
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *metaDecoder) fixed64() uint64 {
+	if d.err == nil && len(d.b) < 8 {
+		d.err = corruptf("metadata block short of fixed64")
+	}
+	if d.err != nil {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// decodeMeta parses a metadata block into h (refs/preamble fields are
+// handled by the caller). Unknown trailing bytes are ignored.
+func decodeMeta(b []byte, h *Header) error {
+	d := metaDecoder{b: b}
+	h.Workload = d.str()
+	h.Design = d.str()
+	h.Cores = int(d.uvarint())
+	h.Seed = d.uvarint()
+	h.Warm = int(d.uvarint())
+	h.Measure = int(d.uvarint())
+	h.OffChipMLP = math.Float64frombits(d.fixed64())
+	if d.err != nil {
+		return d.err
+	}
+	if h.Cores < 0 || h.Cores > maxCores {
+		return corruptf("core count %d", h.Cores)
+	}
+	return nil
+}

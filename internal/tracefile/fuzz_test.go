@@ -1,0 +1,46 @@
+package tracefile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReader hammers the reader with arbitrary bytes — truncated files,
+// corrupt headers, mangled chunk frames, garbage gzip payloads. The
+// reader must never panic and never loop forever; any structural damage
+// must surface through Err.
+func FuzzReader(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	valid := writeTrace(nil, Header{Workload: "fuzz", Design: "R", Cores: 4,
+		Seed: 99, Warm: 10, Measure: 90, OffChipMLP: 1.5},
+		randRefs(rng, 200, 4), 32)
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:20])
+	f.Add([]byte("RNTR"))
+	f.Add([]byte{})
+	// A frame declaring a huge chunk must be rejected, not allocated.
+	huge := append([]byte(nil), valid...)
+	copy(huge[len(huge)-12:], []byte{0xff, 0xff, 0xff, 0x7f, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded refs are bounded by the input: every record costs at
+		// least one payload byte and chunk payloads are capped, so this
+		// loop terminates; the cap is a belt-and-suspenders guard.
+		for n := 0; n < 1<<22; n++ {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		if r.Err() == nil && !r.eof {
+			t.Fatal("reader stopped without EOF or error")
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rnuca/internal/cache"
+	"rnuca/internal/trace"
+)
+
+// Reader streams references back out of a trace. It implements
+// trace.RefSource; after NewReader's setup allocations, Next decodes
+// records without allocating (buffers are reused across chunks).
+//
+// Next follows the bufio.Scanner error convention: it returns false at
+// the clean end of the trace and on error alike; Err distinguishes the
+// two.
+type Reader struct {
+	br  *bufio.Reader
+	hdr Header
+	err error
+	eof bool
+
+	raw      []byte // decompressed payload of the current chunk
+	pos      int
+	nref     uint32 // records decoded so far in the current chunk
+	declared uint32 // record count the chunk frame declared
+	total    uint64
+	lastAddr []uint64
+
+	gz     *gzip.Reader
+	compRd bytes.Reader
+	comp   []byte
+	frame  [frameSize]byte
+}
+
+// NewReader parses the preamble from r and returns a streaming Reader
+// over its chunks.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	pre := make([]byte, countOffset+8)
+	if _, err := io.ReadFull(br, pre); err != nil {
+		return nil, corruptf("short preamble: %v", err)
+	}
+	if string(pre[:4]) != magic {
+		return nil, corruptf("bad magic %q", pre[:4])
+	}
+	if v := binary.LittleEndian.Uint16(pre[4:]); v != Version {
+		return nil, fmt.Errorf("tracefile: unsupported format version %d (have %d)", v, Version)
+	}
+	var hdr Header
+	hdr.Refs = binary.LittleEndian.Uint64(pre[countOffset:])
+	metaLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, corruptf("metadata length: %v", err)
+	}
+	if metaLen > maxMetaBytes {
+		return nil, corruptf("metadata block %d bytes", metaLen)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, meta); err != nil {
+		return nil, corruptf("short metadata block: %v", err)
+	}
+	if err := decodeMeta(meta, &hdr); err != nil {
+		return nil, err
+	}
+	cores := hdr.Cores
+	if cores == 0 {
+		cores = maxCores // headerless core count: accept any in-range core
+	}
+	return &Reader{br: br, hdr: hdr, lastAddr: make([]uint64, cores)}, nil
+}
+
+// Header returns the trace metadata.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Total returns the number of records decoded so far.
+func (r *Reader) Total() uint64 { return r.total }
+
+// Err returns the first error encountered, or nil after a clean end of
+// trace.
+func (r *Reader) Err() error { return r.err }
+
+// Next implements trace.RefSource.
+func (r *Reader) Next() (trace.Ref, bool) {
+	if r.err != nil || r.eof {
+		return trace.Ref{}, false
+	}
+	for r.pos >= len(r.raw) {
+		if !r.nextChunk() {
+			return trace.Ref{}, false
+		}
+	}
+	return r.decode()
+}
+
+// fail latches the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// nextChunk reads and decompresses the next chunk, returning false at the
+// terminator or on error.
+func (r *Reader) nextChunk() bool {
+	if r.nref != r.declared {
+		// The previous chunk's payload held a different record count than
+		// its frame declared.
+		r.fail(corruptf("chunk declared %d records, decoded %d", r.declared, r.nref))
+		return false
+	}
+	if _, err := io.ReadFull(r.br, r.frame[:]); err != nil {
+		r.fail(corruptf("short chunk frame: %v", err))
+		return false
+	}
+	compLen := binary.LittleEndian.Uint32(r.frame[0:])
+	rawLen := binary.LittleEndian.Uint32(r.frame[4:])
+	count := binary.LittleEndian.Uint32(r.frame[8:])
+	if compLen == 0 {
+		// Terminator: the count field carries the low bits of the total.
+		if rawLen != 0 || count != uint32(r.total) {
+			r.fail(corruptf("terminator count %d, decoded %d records", count, r.total))
+			return false
+		}
+		if r.hdr.Refs != 0 && r.hdr.Refs != r.total {
+			r.fail(corruptf("header declares %d records, decoded %d", r.hdr.Refs, r.total))
+			return false
+		}
+		r.eof = true
+		return false
+	}
+	if compLen > maxChunkBytes || rawLen > maxChunkBytes || rawLen == 0 || count == 0 {
+		r.fail(corruptf("chunk frame lengths %d/%d/%d", compLen, rawLen, count))
+		return false
+	}
+	if cap(r.comp) < int(compLen) {
+		r.comp = make([]byte, compLen)
+	}
+	r.comp = r.comp[:compLen]
+	if _, err := io.ReadFull(r.br, r.comp); err != nil {
+		r.fail(corruptf("short chunk payload: %v", err))
+		return false
+	}
+	r.compRd.Reset(r.comp)
+	if r.gz == nil {
+		gz, err := gzip.NewReader(&r.compRd)
+		if err != nil {
+			r.fail(corruptf("chunk gzip header: %v", err))
+			return false
+		}
+		r.gz = gz
+	} else if err := r.gz.Reset(&r.compRd); err != nil {
+		r.fail(corruptf("chunk gzip header: %v", err))
+		return false
+	}
+	if cap(r.raw) < int(rawLen) {
+		r.raw = make([]byte, rawLen)
+	}
+	r.raw = r.raw[:rawLen]
+	if _, err := io.ReadFull(r.gz, r.raw); err != nil {
+		r.fail(corruptf("chunk decompression: %v", err))
+		return false
+	}
+	var one [1]byte
+	if n, _ := r.gz.Read(one[:]); n != 0 {
+		r.fail(corruptf("chunk longer than its declared %d bytes", rawLen))
+		return false
+	}
+	r.pos = 0
+	r.nref = 0
+	r.declared = count
+	for c := range r.lastAddr {
+		r.lastAddr[c] = 0
+	}
+	return true
+}
+
+func (r *Reader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.raw[r.pos:])
+	if n <= 0 {
+		r.fail(corruptf("bad record varint at chunk offset %d", r.pos))
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *Reader) varint() int64 {
+	v, n := binary.Varint(r.raw[r.pos:])
+	if n <= 0 {
+		r.fail(corruptf("bad record varint at chunk offset %d", r.pos))
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// decode parses one record at r.pos.
+func (r *Reader) decode() (trace.Ref, bool) {
+	if r.nref >= r.declared {
+		r.fail(corruptf("chunk payload holds more than its declared %d records", r.declared))
+		return trace.Ref{}, false
+	}
+	kc := r.raw[r.pos]
+	r.pos++
+	kind := trace.Kind(kc & 0x0f)
+	class := cache.Class(kc >> 4)
+	if kind > trace.Store || class > cache.ClassShared {
+		r.fail(corruptf("bad kind/class byte %#x", kc))
+		return trace.Ref{}, false
+	}
+	core := r.uvarint()
+	threadDelta := r.varint()
+	addrDelta := r.varint()
+	busy := r.uvarint()
+	if r.err != nil {
+		return trace.Ref{}, false
+	}
+	if core >= uint64(len(r.lastAddr)) {
+		r.fail(corruptf("record core %d outside header's %d cores", core, len(r.lastAddr)))
+		return trace.Ref{}, false
+	}
+	if busy > 1<<32 {
+		r.fail(corruptf("implausible busy count %d", busy))
+		return trace.Ref{}, false
+	}
+	addr := r.lastAddr[core] + uint64(addrDelta)
+	r.lastAddr[core] = addr
+	r.nref++
+	r.total++
+	return trace.Ref{
+		Core:   int(core),
+		Thread: int(core) + int(threadDelta),
+		Kind:   kind,
+		Addr:   addr,
+		Class:  class,
+		Busy:   int(busy),
+	}, true
+}
+
+// ReadAll decodes an entire trace from r.
+func ReadAll(r io.Reader) (Header, []trace.Ref, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var refs []trace.Ref
+	for {
+		ref, ok := tr.Next()
+		if !ok {
+			break
+		}
+		refs = append(refs, ref)
+	}
+	return tr.Header(), refs, tr.Err()
+}
+
+var _ trace.RefSource = (*Reader)(nil)

@@ -1,0 +1,138 @@
+package tracefile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rnuca/internal/trace"
+)
+
+// Writer encodes a reference stream into the tracefile format. It is
+// single-goroutine, like the engine that feeds it. Errors latch: after
+// the first failure every Write is a no-op and Close returns the error.
+type Writer struct {
+	w   io.Writer
+	hdr Header
+	err error
+
+	// ChunkRefs is the number of records per chunk. It may be lowered
+	// before the first Write (tests use tiny chunks to exercise
+	// boundaries); the zero value set by NewWriter is DefaultChunkRefs.
+	ChunkRefs int
+
+	raw      []byte // encoded records of the open chunk
+	nref     uint32
+	total    uint64
+	lastAddr []uint64 // per-core delta state, reset at chunk boundaries
+
+	gz    *gzip.Writer
+	gzBuf bytes.Buffer
+	frame [frameSize]byte
+}
+
+// NewWriter writes the preamble for hdr to w and returns a Writer
+// appending chunks to it. hdr.Refs is ignored (the count is patched by
+// FileWriter.Close when the destination can seek).
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	if hdr.Cores <= 0 || hdr.Cores > maxCores {
+		return nil, fmt.Errorf("tracefile: core count %d outside 1..%d", hdr.Cores, maxCores)
+	}
+	hdr.Refs = 0
+	if _, err := w.Write(encodeHeader(hdr)); err != nil {
+		return nil, fmt.Errorf("tracefile: writing header: %w", err)
+	}
+	return &Writer{
+		w: w, hdr: hdr,
+		ChunkRefs: DefaultChunkRefs,
+		lastAddr:  make([]uint64, hdr.Cores),
+	}, nil
+}
+
+// Header returns the metadata the writer was created with.
+func (w *Writer) Header() Header { return w.hdr }
+
+// Total returns the number of records written so far.
+func (w *Writer) Total() uint64 { return w.total }
+
+// Err returns the latched error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Write appends one reference.
+func (w *Writer) Write(r trace.Ref) error {
+	if w.err != nil {
+		return w.err
+	}
+	if r.Core < 0 || r.Core >= w.hdr.Cores {
+		w.err = fmt.Errorf("tracefile: ref core %d outside 0..%d", r.Core, w.hdr.Cores-1)
+		return w.err
+	}
+	w.raw = append(w.raw, byte(r.Kind)|byte(r.Class)<<4)
+	w.raw = appendUvarint(w.raw, uint64(r.Core))
+	w.raw = appendVarint(w.raw, int64(r.Thread-r.Core))
+	w.raw = appendVarint(w.raw, int64(r.Addr-w.lastAddr[r.Core]))
+	w.raw = appendUvarint(w.raw, uint64(r.Busy))
+	w.lastAddr[r.Core] = r.Addr
+	w.nref++
+	w.total++
+	if int(w.nref) >= w.ChunkRefs {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush closes the open chunk, writing it out. A no-op when the chunk is
+// empty.
+func (w *Writer) Flush() error {
+	if w.err != nil || w.nref == 0 {
+		return w.err
+	}
+	w.gzBuf.Reset()
+	if w.gz == nil {
+		w.gz = gzip.NewWriter(&w.gzBuf)
+	} else {
+		w.gz.Reset(&w.gzBuf)
+	}
+	if _, err := w.gz.Write(w.raw); err == nil {
+		w.err = w.gz.Close()
+	} else {
+		w.err = err
+	}
+	if w.err == nil {
+		binary.LittleEndian.PutUint32(w.frame[0:], uint32(w.gzBuf.Len()))
+		binary.LittleEndian.PutUint32(w.frame[4:], uint32(len(w.raw)))
+		binary.LittleEndian.PutUint32(w.frame[8:], w.nref)
+		if _, err := w.w.Write(w.frame[:]); err != nil {
+			w.err = err
+		} else if _, err := w.w.Write(w.gzBuf.Bytes()); err != nil {
+			w.err = err
+		}
+	}
+	if w.err != nil {
+		w.err = fmt.Errorf("tracefile: writing chunk: %w", w.err)
+		return w.err
+	}
+	w.raw = w.raw[:0]
+	w.nref = 0
+	for c := range w.lastAddr {
+		w.lastAddr[c] = 0
+	}
+	return nil
+}
+
+// Close flushes the final chunk and writes the terminator frame. It does
+// not close the underlying io.Writer (FileWriter does).
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(w.frame[0:], 0)
+	binary.LittleEndian.PutUint32(w.frame[4:], 0)
+	binary.LittleEndian.PutUint32(w.frame[8:], uint32(w.total))
+	if _, err := w.w.Write(w.frame[:]); err != nil {
+		w.err = fmt.Errorf("tracefile: writing terminator: %w", err)
+	}
+	return w.err
+}

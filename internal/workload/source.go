@@ -1,0 +1,24 @@
+package workload
+
+import "rnuca/internal/trace"
+
+// Source multiplexes a spec's per-core generators into a single infinite
+// trace.RefSource, interleaving cores round-robin. Demultiplexing it
+// (trace.Demux) yields per-core streams identical to Streams(spec), so
+// the generator and a recorded trace are interchangeable behind the
+// RefSource interface.
+func Source(spec Spec) trace.RefSource {
+	return &roundRobin{gens: Streams(spec)}
+}
+
+type roundRobin struct {
+	gens []trace.Stream
+	next int
+}
+
+// Next implements trace.RefSource; it never reports exhaustion.
+func (s *roundRobin) Next() (trace.Ref, bool) {
+	r := s.gens[s.next].Next()
+	s.next = (s.next + 1) % len(s.gens)
+	return r, true
+}

@@ -1,0 +1,23 @@
+package workload
+
+import (
+	"testing"
+
+	"rnuca/internal/trace"
+)
+
+// The multiplexed Source, demultiplexed back into per-core streams, is
+// indistinguishable from Streams — the property that makes generators
+// and traces interchangeable behind RefSource.
+func TestSourceMatchesStreams(t *testing.T) {
+	spec := OLTPDB2()
+	direct := Streams(spec)
+	demuxed := trace.Demux(Source(spec), spec.Cores)
+	for i := 0; i < 2000; i++ {
+		c := i % spec.Cores
+		a, b := direct[c].Next(), demuxed[c].Next()
+		if a != b {
+			t.Fatalf("core %d ref %d: generator %+v, demuxed source %+v", c, i/spec.Cores, a, b)
+		}
+	}
+}

@@ -23,16 +23,38 @@
 //	cmp := rnuca.Compare(rnuca.OLTPDB2(), rnuca.AllDesigns(), rnuca.Options{})
 //	fmt.Printf("R-NUCA speedup over private: %+.1f%%\n",
 //	    100*cmp[rnuca.DesignRNUCA].Speedup(cmp[rnuca.DesignPrivate].Result))
+//
+// Simulations are trace-drivable: Record captures the reference stream a
+// run consumed into a compact binary trace (internal/tracefile documents
+// the on-disk format), and Replay re-runs any design over it without
+// paying generation cost. A same-design replay reproduces the recording
+// run's Result bit for bit.
+//
+//	rec, _ := rnuca.Record(rnuca.OLTPDB2(), rnuca.DesignRNUCA, rnuca.Options{}, "oltp.rnt")
+//	rep, _ := rnuca.Replay("oltp.rnt", rnuca.DesignRNUCA, rnuca.Options{})
+//	// rec.Result == rep.Result
+//
+// Arbitrary reference streams plug in through Options.Source (any
+// trace.RefSource); cmd/rnuca-trace wraps record/info/replay for the
+// command line.
 package rnuca
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"rnuca/internal/design"
 	"rnuca/internal/sim"
 	"rnuca/internal/stats"
+	"rnuca/internal/trace"
+	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
 )
+
+// RefSource is re-exported so callers can plug external reference
+// streams into Options.Source without importing internal packages.
+type RefSource = trace.RefSource
 
 // DesignID names one of the five evaluated L2 organizations.
 type DesignID string
@@ -89,6 +111,15 @@ type Options struct {
 	// Config overrides the CMP configuration. Nil selects Config16 or
 	// Config8 to match the workload's core count, as the paper does.
 	Config *sim.Config
+	// Source, when non-nil, overrides the workload's statistical
+	// generator: batch b's references come from Source(b), demultiplexed
+	// per core by each ref's Core field; external ingesters can supply
+	// any RefSource. Finite sources loop per core once exhausted if they
+	// implement trace.Rewinder. With Source set, DesignASR runs its
+	// adaptive variant only (the best-of-six sweep would pull each
+	// batch's source six times); use Replay for trace-driven ASR
+	// best-of-six.
+	Source func(batch int) RefSource
 }
 
 func (o Options) withDefaults(w Workload) Options {
@@ -179,16 +210,45 @@ func RunWith(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Result {
 // Run simulates one workload on one design.
 func Run(w Workload, id DesignID, opt Options) Result {
 	opt = opt.withDefaults(w)
-	if id == DesignASR {
+	if id == DesignASR && opt.Source == nil {
 		return runASRBest(w, opt)
 	}
+	return runBatches(w, opt, designMaker(id, opt))
+}
+
+// designMaker returns the design constructor Run would use for id, with
+// ASR fixed to the adaptive variant (the best-of-six sweep is handled by
+// runASRBest, which generator-driven Run still goes through).
+func designMaker(id DesignID, opt Options) func(*sim.Chassis) sim.Design {
 	if id == DesignRNUCA && opt.PrivateClusterSize > 1 {
 		size := opt.PrivateClusterSize
-		return runBatches(w, opt, func(ch *sim.Chassis) sim.Design {
+		return func(ch *sim.Chassis) sim.Design {
 			return design.NewReactiveWithPrivateClusters(ch, size)
-		})
+		}
 	}
-	return runBatches(w, opt, func(ch *sim.Chassis) sim.Design { return NewDesign(id, ch) })
+	return func(ch *sim.Chassis) sim.Design { return NewDesign(id, ch) }
+}
+
+// runOne executes a single simulation over the given per-core streams.
+func runOne(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, streams []trace.Stream) sim.Result {
+	ch := sim.NewChassis(*opt.Config)
+	d := mk(ch)
+	eng := sim.NewEngine(ch, d, streams)
+	eng.OffChipMLP = ws.OffChipMLP
+	res := eng.Run(opt.Warm, opt.Measure)
+	res.Workload = ws.Name
+	return res
+}
+
+// runOneSource is runOne fed by a multiplexed RefSource.
+func runOneSource(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, src trace.RefSource) sim.Result {
+	ch := sim.NewChassis(*opt.Config)
+	d := mk(ch)
+	eng := sim.NewEngineSource(ch, d, src)
+	eng.OffChipMLP = ws.OffChipMLP
+	res := eng.Run(opt.Warm, opt.Measure)
+	res.Workload = ws.Name
+	return res
 }
 
 // runBatches executes opt.Batches independently-seeded runs and folds the
@@ -199,12 +259,12 @@ func runBatches(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Resul
 	for b := 0; b < opt.Batches; b++ {
 		ws := w
 		ws.Seed = w.Seed + uint64(b)*0x9E37
-		ch := sim.NewChassis(*opt.Config)
-		d := mk(ch)
-		eng := sim.NewEngine(ch, d, workload.Streams(ws))
-		eng.OffChipMLP = ws.OffChipMLP
-		res := eng.Run(opt.Warm, opt.Measure)
-		res.Workload = w.Name
+		var res sim.Result
+		if opt.Source != nil {
+			res = runOneSource(ws, opt, mk, opt.Source(b))
+		} else {
+			res = runOne(ws, opt, mk, workload.Streams(ws))
+		}
 		cpi.Add(res.CPI())
 		if b == 0 {
 			out.Result = res
@@ -215,6 +275,233 @@ func runBatches(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Resul
 	out.CPIMean = cpi.Mean()
 	out.CPICI = cpi.CI95()
 	return out
+}
+
+// Record runs one workload on one design exactly as Run does (single
+// batch), teeing every reference the engine consumes — warmup included —
+// to a trace file at path. The returned Result is the recording run's;
+// replaying the file under the same design and reference counts
+// reproduces it bit for bit. ASR records its adaptive variant (a
+// best-of-six sweep would interleave six streams into one file); Replay
+// of design A still applies the best-of-six methodology to the recorded
+// refs.
+func Record(w Workload, id DesignID, opt Options, path string) (Result, error) {
+	opt = opt.withDefaults(w)
+	opt.Batches = 1
+	if opt.Source != nil {
+		return Result{}, fmt.Errorf("rnuca: Record with Options.Source set; record from the generator")
+	}
+	fw, err := tracefile.Create(path, tracefile.Header{
+		Workload:   w.Name,
+		Design:     string(id),
+		Cores:      opt.Config.Cores,
+		Seed:       w.Seed,
+		Warm:       opt.Warm,
+		Measure:    opt.Measure,
+		OffChipMLP: w.OffChipMLP,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	streams := tracefile.RecordStreams(fw.Writer, workload.Streams(w))
+	var out Result
+	res := runOne(w, opt, designMaker(id, opt), streams)
+	out.Result = res
+	out.CPIMean = res.CPI()
+	if err := fw.Close(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Replay runs one design over a recorded trace. Warm/Measure default to
+// the recording run's split (stored in the trace header); the workload's
+// timing parameters come from the header, so traces replay without a
+// catalog entry. DesignASR follows the paper's best-of-six methodology,
+// as Run does, with every variant replaying the same refs. Batches > 1
+// replays the same trace on independent engines in parallel — useful for
+// timing designs whose adaptation has internal randomness, and for
+// exercising the batch fold — though for the deterministic designs every
+// batch yields the same Result.
+func Replay(path string, id DesignID, opt Options) (Result, error) {
+	opt, w, err := replaySetup(path, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	if id == DesignASR {
+		return replayASRBest(path, w, opt)
+	}
+	return replayBatches(path, w, opt, designMaker(id, opt))
+}
+
+// ReplayWith replays a trace on a custom design built by mk — the
+// trace-driven counterpart of RunWith.
+func ReplayWith(path string, opt Options, mk func(*sim.Chassis) sim.Design) (Result, error) {
+	opt, w, err := replaySetup(path, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return replayBatches(path, w, opt, mk)
+}
+
+// replaySetup validates the trace header and resolves replay options
+// against it.
+func replaySetup(path string, opt Options) (Options, Workload, error) {
+	if opt.Source != nil {
+		return opt, Workload{}, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
+	}
+	f, err := tracefile.Open(path)
+	if err != nil {
+		return opt, Workload{}, err
+	}
+	hdr := f.Header()
+	f.Close()
+	if hdr.Cores < 1 {
+		return opt, Workload{}, fmt.Errorf("rnuca: trace %s declares %d cores", path, hdr.Cores)
+	}
+	w := workloadFor(hdr)
+	if opt.Warm == 0 {
+		opt.Warm = hdr.Warm
+	}
+	if opt.Measure == 0 {
+		opt.Measure = hdr.Measure
+	}
+	opt = opt.withDefaults(w)
+	if opt.Config.Cores != hdr.Cores {
+		return opt, Workload{}, fmt.Errorf("rnuca: trace %s has %d cores, config has %d",
+			path, hdr.Cores, opt.Config.Cores)
+	}
+	// A replay that needs more refs than the trace holds would recycle
+	// recorded references (the demux loops per core); refuse rather than
+	// let oversampled results masquerade as a longer run. Traces without
+	// a declared count (streaming writers) are exempt — the length is
+	// unknowable up front.
+	if need := uint64(opt.Warm) + uint64(opt.Measure); hdr.Refs > 0 && need > hdr.Refs {
+		return opt, Workload{}, fmt.Errorf(
+			"rnuca: trace %s holds %d refs but replay needs %d (warm %d + measure %d); record a longer trace or lower the counts",
+			path, hdr.Refs, need, opt.Warm, opt.Measure)
+	}
+	return opt, w, nil
+}
+
+// replayBatches runs opt.Batches replay engines over one trace in
+// parallel and folds the results in batch order.
+func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) sim.Design) (Result, error) {
+	results := make([]sim.Result, opt.Batches)
+	errs := make([]error, opt.Batches)
+	var wg sync.WaitGroup
+	for b := 0; b < opt.Batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			src, err := tracefile.Open(path)
+			if err != nil {
+				errs[b] = err
+				return
+			}
+			defer src.Close()
+			// A corrupt or truncated trace surfaces as an error, not a
+			// crash: the demux's panics are "trace:"-prefixed, and a
+			// reader that failed mid-stream must not let the run pass
+			// silently. Panics from anywhere else (engine or design
+			// bugs) propagate.
+			defer func() {
+				p := recover()
+				if err := src.Err(); err != nil {
+					errs[b] = fmt.Errorf("rnuca: replaying %s: %w", path, err)
+					return
+				}
+				if p == nil {
+					return
+				}
+				if s, ok := p.(string); ok && strings.HasPrefix(s, "trace: ") {
+					errs[b] = fmt.Errorf("rnuca: replaying %s: %s", path, s)
+					return
+				}
+				panic(p)
+			}()
+			results[b] = runOneSource(w, opt, mk, src)
+		}(b)
+	}
+	wg.Wait()
+	var out Result
+	var cpi stats.Summary
+	for b, res := range results {
+		if errs[b] != nil {
+			return Result{}, errs[b]
+		}
+		cpi.Add(res.CPI())
+		if b == 0 {
+			out.Result = res
+		} else {
+			out.Result = mergeResults(out.Result, res)
+		}
+	}
+	out.CPIMean = cpi.Mean()
+	out.CPICI = cpi.CI95()
+	return out, nil
+}
+
+// replayASRBest mirrors runASRBest over a trace: six ASR variants replay
+// the same refs, the best CPI is reported.
+func replayASRBest(path string, w Workload, opt Options) (Result, error) {
+	best := Result{}
+	bestCPI := 0.0
+	for i, mk := range asrVariants() {
+		r, err := replayBatches(path, w, opt, mk)
+		if err != nil {
+			return Result{}, err
+		}
+		if i == 0 || r.CPI() < bestCPI {
+			best, bestCPI = r, r.CPI()
+		}
+	}
+	best.Design = "A"
+	return best, nil
+}
+
+// workloadFor reconstructs the workload a trace was recorded from: the
+// catalog entry when the name resolves, otherwise a minimal spec carrying
+// the header's timing parameters (replay never generates references, so
+// footprints and mixes are not needed).
+func workloadFor(hdr tracefile.Header) Workload {
+	if w, ok := workload.ByName(hdr.Workload); ok {
+		return w
+	}
+	mlp := hdr.OffChipMLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	return Workload{
+		Name:       hdr.Workload,
+		Cores:      hdr.Cores,
+		Seed:       hdr.Seed,
+		OffChipMLP: mlp,
+	}
+}
+
+// ReplayCompare replays several designs over one trace concurrently,
+// the Figure 12 comparison without regeneration cost.
+func ReplayCompare(path string, ids []DesignID, opt Options) (map[DesignID]Result, error) {
+	results := make([]Result, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id DesignID) {
+			defer wg.Done()
+			results[i], errs[i] = Replay(path, id, opt)
+		}(i, id)
+	}
+	wg.Wait()
+	out := make(map[DesignID]Result, len(ids))
+	for i, id := range ids {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[id] = results[i]
+	}
+	return out, nil
 }
 
 // mergeResults averages two results' accumulators (batch means).
@@ -240,19 +527,26 @@ func mergeResults(a, b sim.Result) sim.Result {
 	return a
 }
 
-// runASRBest implements the paper's ASR methodology (§5.1): six variants
-// (adaptive plus five static probabilities), report the best-performing.
-func runASRBest(w Workload, opt Options) Result {
-	best := Result{}
-	bestCPI := 0.0
-	for i, mk := range []func(*sim.Chassis) sim.Design{
+// asrVariants returns the six ASR configurations of the paper's §5.1
+// methodology: five static replication probabilities plus the adaptive
+// controller.
+func asrVariants() []func(*sim.Chassis) sim.Design {
+	return []func(*sim.Chassis) sim.Design{
 		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0, 0xA5A5) },
 		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0.25, 0xA5A5) },
 		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0.5, 0xA5A5) },
 		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 0.75, 0xA5A5) },
 		func(ch *sim.Chassis) sim.Design { return design.NewASR(ch, 1, 0xA5A5) },
 		func(ch *sim.Chassis) sim.Design { return design.NewAdaptiveASR(ch, 0xA5A5) },
-	} {
+	}
+}
+
+// runASRBest implements the paper's ASR methodology (§5.1): six variants
+// (adaptive plus five static probabilities), report the best-performing.
+func runASRBest(w Workload, opt Options) Result {
+	best := Result{}
+	bestCPI := 0.0
+	for i, mk := range asrVariants() {
 		r := runBatches(w, opt, mk)
 		if i == 0 || r.CPI() < bestCPI {
 			best, bestCPI = r, r.CPI()
