@@ -1,26 +1,35 @@
-// Command rnuca-trace captures, inspects, and replays L2 reference
-// traces in the tracefile format (see internal/tracefile).
+// Command rnuca-trace captures, inspects, indexes, and replays L2
+// reference traces in the tracefile format (see internal/tracefile).
 //
 // Usage:
 //
 //	rnuca-trace record -workload OLTP-DB2 [-design R] [-warm N]
 //	            [-measure N] [-seed S] -o trace.rnt
 //	rnuca-trace info trace.rnt
+//	rnuca-trace index [-upgrade OUT] trace.rnt
 //	rnuca-trace replay [-design R | -design P,A,S,R,I | -design all]
-//	            [-warm N] [-measure N] [-batches B] trace.rnt
+//	            [-warm N] [-measure N] [-batches B] [-shards N]
+//	            [-window START:N] trace.rnt
 //
 // record runs a workload through a design once and tees the consumed
 // reference stream to disk. info prints the header and a scan summary.
-// replay re-runs any of the five designs over the saved trace, in
-// parallel across designs and batches, skipping generation cost; a
-// same-design replay reproduces the recording run's numbers exactly.
+// index prints the v2 chunk index (or, with -upgrade, rewrites any
+// readable trace as an indexed v2 file). replay re-runs any of the five
+// designs over the saved trace, in parallel across designs and batches,
+// skipping generation cost; a same-design replay reproduces the
+// recording run's numbers exactly. On indexed traces, -shards fans
+// chunk decoding across workers without changing results, and -window
+// replays only the records [START, START+N).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"rnuca"
@@ -37,6 +46,8 @@ func main() {
 		record(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
+	case "index":
+		index(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
 	default:
@@ -48,7 +59,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rnuca-trace record -workload NAME [-design R] [-warm N] [-measure N] [-seed S] -o FILE
   rnuca-trace info FILE
-  rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] FILE`)
+  rnuca-trace index [-upgrade OUT] FILE
+  rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] [-shards N] [-window START:N] FILE`)
 	os.Exit(2)
 }
 
@@ -121,7 +133,7 @@ func info(args []string) {
 	}
 	defer f.Close()
 	hdr := f.Header()
-	fmt.Printf("%s: tracefile v%d\n", path, tracefile.Version)
+	fmt.Printf("%s: tracefile v%d\n", path, f.Version())
 	fmt.Printf("  workload     %s (%d cores, seed %d)\n", hdr.Workload, hdr.Cores, hdr.Seed)
 	fmt.Printf("  recorded by  design %s, warm %d + measure %d, off-chip MLP %.2f\n",
 		orNone(hdr.Design), hdr.Warm, hdr.Measure, hdr.OffChipMLP)
@@ -172,6 +184,108 @@ func info(args []string) {
 	fmt.Println()
 }
 
+// index prints a v2 trace's chunk index, or rewrites a trace (any
+// readable version) as an indexed v2 file with -upgrade.
+func index(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	upgrade := fs.String("upgrade", "", "rewrite FILE as an indexed v2 trace at this path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	if *upgrade != "" {
+		upgradeTrace(path, *upgrade)
+		return
+	}
+
+	x, err := tracefile.OpenIndexed(path)
+	if errors.Is(err, tracefile.ErrNoIndex) {
+		fatalf("%s has no chunk index; rewrite it with\n  rnuca-trace index -upgrade NEW.rnt %s", path, path)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer x.Close()
+	hdr := x.Header()
+	fmt.Printf("%s: %d records in %d chunks (%s, %d cores)\n",
+		path, x.Refs(), x.Chunks(), hdr.Workload, hdr.Cores)
+	fmt.Printf("  %-6s %-12s %-12s %s\n", "chunk", "offset", "first-rec", "records")
+	const maxRows = 48
+	for i := 0; i < x.Chunks(); i++ {
+		if x.Chunks() > maxRows && i == maxRows-8 {
+			fmt.Printf("  ... %d chunks elided ...\n", x.Chunks()-maxRows)
+			i = x.Chunks() - 8
+		}
+		e := x.Entry(i)
+		fmt.Printf("  %-6d %-12d %-12d %d\n", i, e.Offset, e.FirstRecord, e.Count)
+	}
+}
+
+// upgradeTrace re-encodes src (v1 or v2) into an indexed v2 trace at
+// dst, preserving the header. The new trace is built in a temporary
+// file and renamed into place only after src has been read and the
+// result verified, so dst == src upgrades a trace in place instead of
+// truncating the input it is about to read.
+func upgradeTrace(src, dst string) {
+	f, err := tracefile.Open(src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	tmp := dst + ".tmp"
+	out, err := tracefile.Create(tmp, f.Header())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fail := func(format string, args ...interface{}) {
+		os.Remove(tmp)
+		fatalf(format, args...)
+	}
+	for {
+		r, ok := f.Next()
+		if !ok {
+			break
+		}
+		if err := out.Write(r); err != nil {
+			fail("upgrade: %v", err)
+		}
+	}
+	if err := f.Err(); err != nil {
+		fail("upgrade: reading %s: %v", src, err)
+	}
+	if err := out.Close(); err != nil {
+		fail("upgrade: %v", err)
+	}
+	x, err := tracefile.OpenIndexed(tmp)
+	if err != nil {
+		fail("upgrade: verifying %s: %v", tmp, err)
+	}
+	refs, chunks := x.Refs(), x.Chunks()
+	x.Close()
+	if err := os.Rename(tmp, dst); err != nil {
+		fail("upgrade: %v", err)
+	}
+	fmt.Printf("upgraded %s -> %s: v%d, %d records in %d chunks\n",
+		src, dst, tracefile.Version, refs, chunks)
+}
+
+// parseWindow parses a -window START:N spec ("START:" and "START" mean
+// to the end of the trace).
+func parseWindow(s string) (start, n uint64) {
+	head, tail, hasTail := strings.Cut(s, ":")
+	start, err := strconv.ParseUint(head, 10, 64)
+	if err != nil {
+		fatalf("bad -window %q: %v", s, err)
+	}
+	if hasTail && tail != "" {
+		if n, err = strconv.ParseUint(tail, 10, 64); err != nil {
+			fatalf("bad -window %q: %v", s, err)
+		}
+	}
+	return start, n
+}
+
 func orNone(s string) string {
 	if s == "" {
 		return "(none)"
@@ -192,11 +306,24 @@ func replay(args []string) {
 	warm := fs.Int("warm", 0, "warmup references (0 = recorded split)")
 	measure := fs.Int("measure", 0, "measured references (0 = recorded split)")
 	batches := fs.Int("batches", 1, "parallel replay engines per design")
+	shards := fs.Int("shards", 0, "parallel trace-decode workers per engine (0 = one per CPU, 1 = sequential; needs a v2 indexed trace)")
+	window := fs.String("window", "", "replay only records START:N of the trace (needs a v2 indexed trace)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	path := fs.Arg(0)
+	if *shards == 0 {
+		// Auto: shard the decode only when the trace carries an index
+		// and there are cores free to run it; v1 traces stay sequential.
+		*shards = 1
+		if runtime.GOMAXPROCS(0) > 1 {
+			if x, err := tracefile.OpenIndexed(path); err == nil {
+				x.Close()
+				*shards = runtime.GOMAXPROCS(0)
+			}
+		}
+	}
 
 	f, err := tracefile.Open(path)
 	if err != nil {
@@ -217,13 +344,23 @@ func replay(args []string) {
 		}
 	}
 
-	opt := rnuca.Options{Warm: *warm, Measure: *measure, Batches: *batches}
+	opt := rnuca.Options{Warm: *warm, Measure: *measure, Batches: *batches, Shards: *shards}
+	if *window != "" {
+		opt.WindowStart, opt.WindowRefs = parseWindow(*window)
+	}
 	results, err := rnuca.ReplayCompare(path, ids, opt)
 	if err != nil {
 		fatalf("replay: %v", err)
 	}
 
-	fmt.Printf("replay of %s (%s, %d cores)\n", path, hdr.Workload, hdr.Cores)
+	fmt.Printf("replay of %s (%s, %d cores", path, hdr.Workload, hdr.Cores)
+	if *window != "" {
+		fmt.Printf(", window %s", *window)
+	}
+	if *shards > 1 {
+		fmt.Printf(", %d decode shards", *shards)
+	}
+	fmt.Println(")")
 	base := results[ids[0]]
 	fmt.Printf("  %-6s %-8s %-10s %-9s %s\n", "design", "CPI", "off-chip", "net-msgs", "speedup vs "+string(ids[0]))
 	for _, id := range ids {

@@ -173,6 +173,89 @@ func TestIntegrationRecordReplay(t *testing.T) {
 	}
 }
 
+// Sharded and windowed replay over an indexed v2 trace: fanning chunk
+// decoding across workers must reproduce the sequential replay's Result
+// bit for bit (the simulation consumes the same refs in the same order),
+// windows must replay without error and differ from full replays only
+// through which refs they feed, and ReplayCompare must carry the options
+// through to every design.
+func TestIntegrationShardedWindowedReplay(t *testing.T) {
+	w := rnuca.OLTPDB2()
+	opt := rnuca.Options{Warm: 10_000, Measure: 30_000}
+	path := filepath.Join(t.TempDir(), "oltp.rnt")
+	if _, err := rnuca.Record(w, rnuca.DesignRNUCA, opt, path); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	x, err := tracefile.OpenIndexed(path)
+	if err != nil {
+		t.Fatalf("the recorder no longer writes an indexed trace: %v", err)
+	}
+	if x.Chunks() < 2 {
+		t.Fatalf("want a multi-chunk trace, got %d chunks", x.Chunks())
+	}
+	x.Close()
+
+	seq, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{})
+	if err != nil {
+		t.Fatalf("sequential replay: %v", err)
+	}
+	for _, shards := range []int{2, 5} {
+		sh, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("replay with %d shards: %v", shards, err)
+		}
+		if sh.Result != seq.Result {
+			t.Fatalf("%d-shard replay diverged from sequential:\n%+v\n%+v", shards, sh.Result, seq.Result)
+		}
+	}
+
+	// A window over the whole trace with the same split is the same run.
+	whole, err := rnuca.Replay(path, rnuca.DesignRNUCA,
+		rnuca.Options{Warm: opt.Warm, Measure: opt.Measure, WindowRefs: uint64(opt.Warm + opt.Measure)})
+	if err != nil {
+		t.Fatalf("whole-trace window replay: %v", err)
+	}
+	if whole.Result != seq.Result {
+		t.Fatalf("whole-trace window diverged:\n%+v\n%+v", whole.Result, seq.Result)
+	}
+
+	// A mid-trace window replays cleanly, sharded or not, with identical
+	// results between the two decode paths.
+	winOpt := rnuca.Options{WindowStart: 10_000, WindowRefs: 20_000}
+	win, err := rnuca.Replay(path, rnuca.DesignRNUCA, winOpt)
+	if err != nil {
+		t.Fatalf("window replay: %v", err)
+	}
+	winOpt.Shards = 3
+	winSh, err := rnuca.Replay(path, rnuca.DesignRNUCA, winOpt)
+	if err != nil {
+		t.Fatalf("sharded window replay: %v", err)
+	}
+	if win.Result != winSh.Result {
+		t.Fatalf("sharded window diverged:\n%+v\n%+v", winSh.Result, win.Result)
+	}
+	if win.Refs == 0 {
+		t.Fatal("window replay measured nothing")
+	}
+
+	// Windows and shards flow through the multi-design comparison.
+	cmp, err := rnuca.ReplayCompare(path, []rnuca.DesignID{rnuca.DesignRNUCA, rnuca.DesignShared},
+		rnuca.Options{Shards: 2, WindowStart: 5_000, WindowRefs: 15_000})
+	if err != nil {
+		t.Fatalf("sharded windowed compare: %v", err)
+	}
+	if len(cmp) != 2 {
+		t.Fatalf("compare returned %d results", len(cmp))
+	}
+
+	// Asking for more refs than the window holds is refused, like
+	// oversized whole-trace replays.
+	if _, err := rnuca.Replay(path, rnuca.DesignRNUCA,
+		rnuca.Options{WindowRefs: 10_000, Measure: 20_000}); err == nil {
+		t.Fatal("oversized window replay accepted")
+	}
+}
+
 // R-NUCA's architectural guarantee, end to end: after a full mixed run, no
 // modifiable block occupies more than one L2 slice, and instruction
 // replicas never exceed the chip's replication degree.

@@ -40,12 +40,22 @@ func Full() Scale {
 	return Scale{Warm: 200_000, Measure: 400_000, TraceRefs: 2_000_000, Batches: 3, ASRBest: true}
 }
 
+// traceSource names a registered trace backing a workload, optionally
+// narrowed to a record window.
+type traceSource struct {
+	path        string
+	start, refs uint64
+}
+
 // Campaign caches per-workload, per-design simulation results.
 type Campaign struct {
-	Scale   Scale
+	Scale Scale
+	// Shards > 1 fans every trace-backed replay's chunk decoding across
+	// that many workers (v2 indexed traces only); results are unchanged.
+	Shards  int
 	results map[string]map[rnuca.DesignID]rnuca.Result
 	rnucaBy map[string]map[int]rnuca.Result // cluster-size sweep cache
-	traces  map[string]string              // workload name -> trace path
+	traces  map[string]traceSource          // workload name -> trace
 }
 
 // NewCampaign builds an empty campaign at the given scale.
@@ -54,7 +64,7 @@ func NewCampaign(s Scale) *Campaign {
 		Scale:   s,
 		results: map[string]map[rnuca.DesignID]rnuca.Result{},
 		rnucaBy: map[string]map[int]rnuca.Result{},
-		traces:  map[string]string{},
+		traces:  map[string]traceSource{},
 	}
 }
 
@@ -63,20 +73,37 @@ func NewCampaign(s Scale) *Campaign {
 // campaign over saved traces pays generation cost zero times. The §3
 // characterization analyses read the same trace.
 func (c *Campaign) UseTrace(workloadName, path string) {
-	c.traces[workloadName] = path
+	c.traces[workloadName] = traceSource{path: path}
+}
+
+// UseTraceWindow registers records [start, start+refs) of a recorded v2
+// trace for a workload (refs 0 = to the end). One long canonical trace
+// can back many campaign cells this way — each cell samples its own
+// window through the chunk index instead of scanning from the file's
+// start. The characterization analyses read the same window.
+func (c *Campaign) UseTraceWindow(workloadName, path string, start, refs uint64) {
+	c.traces[workloadName] = traceSource{path: path, start: start, refs: refs}
 }
 
 // run dispatches one workload x design simulation to the generator or to
 // a registered trace.
 func (c *Campaign) run(w rnuca.Workload, id rnuca.DesignID, opt rnuca.Options) rnuca.Result {
-	if path, ok := c.traces[w.Name]; ok {
-		r, err := rnuca.Replay(path, id, opt)
+	if ts, ok := c.traces[w.Name]; ok {
+		r, err := rnuca.Replay(ts.path, id, c.traceOpts(ts, opt))
 		if err != nil {
-			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", path, w.Name, err))
+			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", ts.path, w.Name, err))
 		}
 		return r
 	}
 	return rnuca.Run(w, id, opt)
+}
+
+// traceOpts applies a registered trace's window and the campaign's
+// decode sharding to one replay's options.
+func (c *Campaign) traceOpts(ts traceSource, opt rnuca.Options) rnuca.Options {
+	opt.WindowStart, opt.WindowRefs = ts.start, ts.refs
+	opt.Shards = c.Shards
+	return opt
 }
 
 func (c *Campaign) opts() rnuca.Options {
@@ -111,10 +138,10 @@ func (c *Campaign) Result(w rnuca.Workload, id rnuca.DesignID) rnuca.Result {
 // rnuca.Run and rnuca.Replay apply the best-of-six sweep.
 func (c *Campaign) runAdaptiveASR(w rnuca.Workload, opt rnuca.Options) rnuca.Result {
 	mk := func(ch *sim.Chassis) sim.Design { return rnuca.NewDesign(rnuca.DesignASR, ch) }
-	if path, ok := c.traces[w.Name]; ok {
-		r, err := rnuca.ReplayWith(path, opt, mk)
+	if ts, ok := c.traces[w.Name]; ok {
+		r, err := rnuca.ReplayWith(ts.path, c.traceOpts(ts, opt), mk)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", path, w.Name, err))
+			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", ts.path, w.Name, err))
 		}
 		return r
 	}
@@ -142,43 +169,81 @@ func (c *Campaign) RNUCAWithClusterSize(w rnuca.Workload, size int) rnuca.Result
 }
 
 // analyze feeds TraceRefs references of a workload through a fresh
-// analyzer — from the registered trace when one exists (re-reading the
-// file as often as needed to reach the count), from the generator
-// otherwise.
+// analyzer — from the registered trace when one exists (re-reading it,
+// or its registered window, as often as needed to reach the count),
+// from the generator otherwise. Windowed traces are read through the
+// chunk index, so sampling a region never scans the file's front.
 func (c *Campaign) analyze(w rnuca.Workload) *trace.Analyzer {
 	an := trace.NewAnalyzer(w.Cores)
-	if path, ok := c.traces[w.Name]; ok {
-		for seen := 0; seen < c.Scale.TraceRefs; {
-			f, err := tracefile.Open(path)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
-			}
-			n := 0
-			for seen < c.Scale.TraceRefs {
-				r, ok := f.Next()
-				if !ok {
-					break
-				}
-				an.Observe(r)
-				seen++
-				n++
-			}
-			f.Close()
-			if err := f.Err(); err != nil {
-				panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
-			}
-			if n == 0 {
-				panic(fmt.Sprintf("experiments: trace %s holds no refs", path))
-			}
+	ts, ok := c.traces[w.Name]
+	if !ok {
+		src := workload.Source(w)
+		for i := 0; i < c.Scale.TraceRefs; i++ {
+			r, _ := src.Next()
+			an.Observe(r)
 		}
 		return an
 	}
-	src := workload.Source(w)
-	for i := 0; i < c.Scale.TraceRefs; i++ {
-		r, _ := src.Next()
-		an.Observe(r)
+	if ts.start > 0 || ts.refs > 0 {
+		c.analyzeWindow(ts, an)
+		return an
+	}
+	for seen := 0; seen < c.Scale.TraceRefs; {
+		f, err := tracefile.Open(ts.path)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+		}
+		n := 0
+		for seen < c.Scale.TraceRefs {
+			r, ok := f.Next()
+			if !ok {
+				break
+			}
+			an.Observe(r)
+			seen++
+			n++
+		}
+		f.Close()
+		if err := f.Err(); err != nil {
+			panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+		}
+		if n == 0 {
+			panic(fmt.Sprintf("experiments: trace %s holds no refs", ts.path))
+		}
 	}
 	return an
+}
+
+// analyzeWindow feeds TraceRefs references of a registered trace window
+// through the analyzer, looping the window's cursor as needed.
+func (c *Campaign) analyzeWindow(ts traceSource, an *trace.Analyzer) {
+	x, err := tracefile.OpenIndexed(ts.path)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+	}
+	defer x.Close()
+	refs := ts.refs
+	if refs == 0 {
+		refs = x.Refs() - ts.start
+	}
+	cur, err := x.Window(ts.start, refs)
+	if err != nil || refs == 0 {
+		panic(fmt.Sprintf("experiments: analyzing %s window [%d,+%d): %v", ts.path, ts.start, ts.refs, err))
+	}
+	for seen := 0; seen < c.Scale.TraceRefs; {
+		r, ok := cur.Next()
+		if !ok {
+			if err := cur.Err(); err != nil {
+				panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+			}
+			if err := cur.Rewind(); err != nil {
+				panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+			}
+			continue
+		}
+		an.Observe(r)
+		seen++
+	}
 }
 
 // pct formats a fraction as a percentage.

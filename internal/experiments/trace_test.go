@@ -42,3 +42,37 @@ func TestCampaignUseTrace(t *testing.T) {
 		t.Fatalf("trace-backed breakdown instruction share %v", bd.Instructions)
 	}
 }
+
+// A campaign can sample a window of one long trace per workload: the
+// replays and the analyzer both draw from the registered record range
+// through the chunk index, and decode sharding leaves results unchanged.
+func TestCampaignUseTraceWindow(t *testing.T) {
+	w := rnuca.OLTPDB2()
+	path := filepath.Join(t.TempDir(), "oltp.rnt")
+	if _, err := rnuca.Record(w, rnuca.DesignRNUCA,
+		rnuca.Options{Warm: 6_000, Measure: 18_000}, path); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+
+	scale := Scale{Warm: 2_000, Measure: 6_000, TraceRefs: 9_000, Batches: 1}
+	c := NewCampaign(scale)
+	c.UseTraceWindow(w.Name, path, 4_000, 12_000)
+	got := c.Result(w, rnuca.DesignRNUCA)
+	if got.CPI() <= 1 {
+		t.Fatalf("windowed replay CPI %v", got.CPI())
+	}
+
+	// The same window with sharded decode folds to identical results.
+	sharded := NewCampaign(scale)
+	sharded.Shards = 3
+	sharded.UseTraceWindow(w.Name, path, 4_000, 12_000)
+	if sh := sharded.Result(w, rnuca.DesignRNUCA); sh.Result != got.Result {
+		t.Fatalf("sharded windowed campaign diverged:\n%+v\n%+v", sh.Result, got.Result)
+	}
+
+	// The analyzer reads the window (looping it to reach the request).
+	an := c.analyze(w)
+	if an.Total() != uint64(scale.TraceRefs) {
+		t.Fatalf("analyzer observed %d refs, want %d", an.Total(), scale.TraceRefs)
+	}
+}

@@ -17,12 +17,13 @@ type RefSource interface {
 
 // Rewinder is optionally implemented by finite RefSources that can
 // restart from their first ref. Demux uses it to loop a source whose
-// consumer needs more refs than the source holds, without retaining
-// every ref in memory.
+// consumers need more refs than the source holds: implementing it is the
+// source's consent that looping is legitimate, and a Rewind that fails —
+// notably after a read error — keeps looping from silently recycling the
+// readable prefix of a damaged source.
 type Rewinder interface {
 	// Rewind repositions the source at its first ref. It fails when the
-	// source cannot restart — notably after a read error, so looping
-	// never silently recycles the readable prefix of a damaged source.
+	// source cannot restart.
 	Rewind() error
 }
 
@@ -56,16 +57,21 @@ func (s *SliceSource) Rewind() error {
 // demand, buffering refs destined for other cores, so consumption order
 // across cores is free — the engine's min-clock scheduling works
 // unchanged. When a replay consumes cores in the same order the source
-// was recorded in, no buffering happens at all; otherwise memory is
-// bounded by the consumption imbalance, never by the source length.
+// was recorded in, no buffering happens at all; while the source is
+// live, memory is bounded by the consumption imbalance, never by the
+// source length.
 //
 // Streams are infinite, as the engine requires: when a finite source is
-// exhausted and it implements Rewinder, the demux rewinds it and keeps
-// routing, so each core's stream loops over its own recorded sequence.
-// A source that cannot rewind, fails to rewind (e.g. a truncated trace
-// refusing to recycle its prefix), or holds no refs at all for a core
-// that asks, panics with a "trace:"-prefixed message — rnuca.Replay
-// converts those into errors.
+// exhausted and it implements Rewinder, the demux rewinds it, re-scans
+// it once to record each core's own sequence, and thereafter serves
+// every stream from its private loop. Loop positions are tracked per
+// core, so however imbalanced the consumption, each core's stream loops
+// over exactly its own recorded sequence — no rewound pass ever appends
+// refs a core was already dealt — and memory is bounded by one copy of
+// the source. A source that cannot rewind, fails to rewind or re-read
+// (e.g. a truncated trace refusing to recycle its prefix), or holds no
+// refs at all for a core that asks, panics with a "trace:"-prefixed
+// message — rnuca.Replay converts those into errors.
 func Demux(src RefSource, cores int) []Stream {
 	d := &demux{
 		src:     src,
@@ -85,6 +91,12 @@ type demux struct {
 	// core c.
 	pending [][]Ref
 	head    []int
+	// loop[c] is core c's full recorded sequence and loopPos[c] the
+	// stream's position in it; both exist only once beginLoop has run
+	// (looping true), after the source first ran dry.
+	looping bool
+	loop    [][]Ref
+	loopPos []int
 }
 
 type demuxStream struct {
@@ -104,23 +116,14 @@ func (s *demuxStream) Next() Ref {
 		}
 		return r
 	}
-	rewound := false
+	if d.looping {
+		return d.nextLoop(c)
+	}
 	for {
 		r, ok := d.src.Next()
 		if !ok {
-			rw, canRewind := d.src.(Rewinder)
-			if !canRewind {
-				panic(fmt.Sprintf("trace: source exhausted with no refs for core %d and no way to rewind", c))
-			}
-			if rewound {
-				// A full pass from the start saw nothing for this core.
-				panic(fmt.Sprintf("trace: source has no refs for core %d", c))
-			}
-			if err := rw.Rewind(); err != nil {
-				panic(fmt.Sprintf("trace: rewinding exhausted source: %v", err))
-			}
-			rewound = true
-			continue
+			d.beginLoop(c)
+			return d.nextLoop(c)
 		}
 		if r.Core < 0 || r.Core >= len(d.pending) {
 			panic(fmt.Sprintf("trace: demux ref for core %d outside 0..%d", r.Core, len(d.pending)-1))
@@ -130,4 +133,52 @@ func (s *demuxStream) Next() Ref {
 		}
 		d.pending[r.Core] = append(d.pending[r.Core], r)
 	}
+}
+
+// nextLoop serves core c's next ref from its recorded sequence.
+func (d *demux) nextLoop(c int) Ref {
+	seq := d.loop[c]
+	if len(seq) == 0 {
+		panic(fmt.Sprintf("trace: source has no refs for core %d", c))
+	}
+	r := seq[d.loopPos[c]]
+	d.loopPos[c] = (d.loopPos[c] + 1) % len(seq)
+	return r
+}
+
+// beginLoop transitions the demux to looping once the source runs dry:
+// the source is rewound and re-scanned once, recording each core's own
+// sequence. At the moment of exhaustion every ref of the single live
+// pass has been routed — consumed by its core or still in its pending
+// buffer — so every core sits exactly at the end of the recorded
+// sequence and each loop starts at position zero after pending drains.
+// c is the core whose demand hit the exhaustion, for error context.
+func (d *demux) beginLoop(c int) {
+	rw, canRewind := d.src.(Rewinder)
+	if !canRewind {
+		panic(fmt.Sprintf("trace: source exhausted under core %d with no way to rewind", c))
+	}
+	if err := rw.Rewind(); err != nil {
+		panic(fmt.Sprintf("trace: rewinding exhausted source: %v", err))
+	}
+	d.loop = make([][]Ref, len(d.pending))
+	d.loopPos = make([]int, len(d.pending))
+	for {
+		r, ok := d.src.Next()
+		if !ok {
+			break
+		}
+		if r.Core < 0 || r.Core >= len(d.loop) {
+			panic(fmt.Sprintf("trace: demux ref for core %d outside 0..%d", r.Core, len(d.loop)-1))
+		}
+		d.loop[r.Core] = append(d.loop[r.Core], r)
+	}
+	// A source that can report read errors must not let the re-scan pass
+	// off a readable prefix as the full sequence.
+	if es, ok := d.src.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			panic(fmt.Sprintf("trace: re-reading source for looping: %v", err))
+		}
+	}
+	d.looping = true
 }

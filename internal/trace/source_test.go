@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func mkRef(core, seq int) Ref {
 	return Ref{Core: core, Thread: core, Addr: uint64(core)<<32 | uint64(seq)<<6, Busy: seq}
@@ -54,6 +57,95 @@ func TestDemuxLoops(t *testing.T) {
 	}
 	if r := streams[1].Next(); r != mkRef(1, 0) {
 		t.Fatalf("core 1 looped ref %+v", r)
+	}
+}
+
+// Regression for the rewound-pass duplication bug: pre-fix, every time a
+// fast core exhausted the source and rewound it, the fresh pass appended
+// *all* other cores' refs to their pending buffers again — including
+// refs those cores had already been dealt — so a core looping k times
+// piled k duplicate copies of every slower core's sequence into memory.
+// With per-core loop positions, a stream's backlog can never exceed the
+// one live pass, and each core still sees exactly its own recorded
+// sequence across any number of loops.
+func TestDemuxLoopImbalancedConsumption(t *testing.T) {
+	// Deliberately imbalanced interleave: core 0 holds half the refs.
+	pattern := []int{0, 1, 2, 0, 2, 0, 1, 0}
+	var refs []Ref
+	perCore := make([][]Ref, 3)
+	for _, c := range pattern {
+		r := mkRef(c, len(perCore[c]))
+		refs = append(refs, r)
+		perCore[c] = append(perCore[c], r)
+	}
+	streams := Demux(NewSliceSource(refs), 3)
+
+	// Core 0 races ahead: ten full loops over its own sequence while
+	// cores 1 and 2 consume a single ref each.
+	for i := 0; i < 10*len(perCore[0]); i++ {
+		if r, w := streams[0].Next(), perCore[0][i%len(perCore[0])]; r != w {
+			t.Fatalf("core 0 ref %d: %+v != %+v", i, r, w)
+		}
+	}
+	for c := 1; c <= 2; c++ {
+		if r := streams[c].Next(); r != perCore[c][0] {
+			t.Fatalf("core %d first ref %+v", c, r)
+		}
+	}
+
+	// The demux must not have buffered duplicate copies of the slow
+	// cores' sequences: at most one live pass can ever be pending.
+	d := streams[0].(*demuxStream).d
+	for c := 1; c <= 2; c++ {
+		if queued := len(d.pending[c]) - d.head[c]; queued > len(perCore[c]) {
+			t.Fatalf("core %d: %d refs buffered for a %d-ref sequence — rewound passes duplicated already-dealt refs",
+				c, queued, len(perCore[c]))
+		}
+	}
+
+	// The slow cores still replay exactly their own sequences across
+	// more than two further loops.
+	for c := 1; c <= 2; c++ {
+		for i := 1; i < 1+3*len(perCore[c]); i++ {
+			if r, w := streams[c].Next(), perCore[c][i%len(perCore[c])]; r != w {
+				t.Fatalf("core %d ref %d: %+v != %+v", c, i, r, w)
+			}
+		}
+	}
+}
+
+// Property check behind the looping rework: under random interleaves and
+// random skewed consumption schedules, every core's stream is exactly
+// its own recorded subsequence, looped.
+func TestDemuxLoopProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		cores := 2 + rng.Intn(3)
+		n := cores + rng.Intn(12)
+		var refs []Ref
+		perCore := make([][]Ref, cores)
+		for i := 0; i < n; i++ {
+			c := i % cores // guarantee every core appears
+			if i >= cores {
+				c = rng.Intn(cores)
+			}
+			r := mkRef(c, len(perCore[c]))
+			refs = append(refs, r)
+			perCore[c] = append(perCore[c], r)
+		}
+		streams := Demux(NewSliceSource(refs), cores)
+		got := make([]int, cores)
+		for p := 0; p < 4*n; p++ {
+			c := rng.Intn(cores/2 + 1) // skewed toward low cores
+			if rng.Intn(4) == 0 {
+				c = rng.Intn(cores)
+			}
+			r := streams[c].Next()
+			if w := perCore[c][got[c]%len(perCore[c])]; r != w {
+				t.Fatalf("trial %d core %d pull %d: %+v != %+v", trial, c, got[c], r, w)
+			}
+			got[c]++
+		}
 	}
 }
 

@@ -3,17 +3,22 @@
 // one: reference streams can be captured once (from the statistical
 // generators or any other trace.RefSource), stored as deterministic
 // regression corpora, and replayed under any design without paying the
-// generation cost again. cmd/rnuca-trace is the command-line front end;
-// rnuca.Record and rnuca.Replay are the library entry points.
+// generation cost again. Version 2 adds a chunk index and footer, so a
+// trace is also seekable (IndexedReader.Seek), windowable (Window),
+// shardable across workers (Shard, Parallel), and safe for any number of
+// concurrent readers over one file descriptor. cmd/rnuca-trace is the
+// command-line front end; rnuca.Record and rnuca.Replay are the library
+// entry points.
 //
-// # On-disk format (version 1)
+// # On-disk format
 //
 // A trace file is a fixed preamble, a varint-encoded metadata block, a
-// sequence of gzip-framed chunks, and a terminator frame:
+// sequence of gzip-framed chunks and — in version 2 — an index section,
+// then a terminator frame and (version 2) a fixed footer:
 //
 //	offset  size  field
 //	0       4     magic "RNTR"
-//	4       2     format version, uint16 little-endian (currently 1)
+//	4       2     format version, uint16 little-endian (currently 2)
 //	6       8     total ref count, uint64 little-endian (0 = unknown;
 //	              patched on Close when the underlying writer can seek)
 //	14      var   uvarint metadata length, then the metadata block
@@ -40,6 +45,48 @@
 // The terminator is a frame with both lengths zero whose record-count
 // field carries the low 32 bits of the file's total ref count, letting
 // readers distinguish clean ends from truncation.
+//
+// # Chunk index and footer (version 2)
+//
+// A v2 writer appends exactly one index section between the last data
+// chunk and the terminator. It is framed like a chunk — compressed
+// length, uncompressed length, then the gzip payload — except that its
+// count field holds the sentinel 0xFFFFFFFF (unreachable as a real
+// record count, since chunk payloads are byte-capped). The payload is a
+// varint sequence:
+//
+//	uvarint        entry count (== number of data chunks)
+//	uvarint        cores (width of the per-entry snapshots)
+//	per entry:
+//	  uvarint      chunk frame byte offset, delta vs the previous entry
+//	  uvarint      record count in the chunk (the entry's first-record
+//	               total is the running sum of preceding counts)
+//	  cores x varint  per-core last address at the chunk's end, delta
+//	               vs the previous entry's snapshot (two's-complement
+//	               wrap-around, like record address deltas)
+//
+// Because record delta state resets at every chunk boundary, any chunk
+// decodes independently given only its frame; the snapshots let a
+// random-access reader verify a fully-decoded chunk end-to-end (the
+// terminator's running total is out of reach mid-file).
+//
+// After the terminator, a fixed 24-byte footer makes the index
+// discoverable without scanning: the index frame's byte offset (uint64
+// LE), the total record count (uint64 LE — authoritative even when the
+// preamble count was never patched), the chunk count (uint32 LE), and
+// the footer magic "RNIX". Sequential readers validate the footer at
+// the terminator, so truncation anywhere in a v2 file is detected.
+//
+// # Versioning rules
+//
+// Readers accept versions 1 and 2: a v1 file is simply a v2 file with
+// no index section and no footer, and every v1 trace remains readable
+// (rnuca-trace index -upgrade rewrites one as indexed v2). Writers only
+// produce the current version. Random access requires v2 — opening a
+// v1 file through IndexedReader fails with ErrNoIndex, never silently
+// degrades. Unknown future versions are rejected up front; unknown
+// trailing metadata fields are ignored, so v2.x extensions can add
+// header fields without a version bump.
 //
 // # Record encoding
 //

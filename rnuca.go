@@ -34,9 +34,12 @@
 //	rep, _ := rnuca.Replay("oltp.rnt", rnuca.DesignRNUCA, rnuca.Options{})
 //	// rec.Result == rep.Result
 //
-// Arbitrary reference streams plug in through Options.Source (any
-// trace.RefSource); cmd/rnuca-trace wraps record/info/replay for the
-// command line.
+// Recorded traces carry a chunk index (tracefile format v2), so replays
+// can fan chunk decoding across workers (Options.Shards — results stay
+// bit-identical) and sample record windows without scanning from the
+// start (Options.WindowStart/WindowRefs). Arbitrary reference streams
+// plug in through Options.Source (any trace.RefSource); cmd/rnuca-trace
+// wraps record/info/index/replay for the command line.
 package rnuca
 
 import (
@@ -120,7 +123,26 @@ type Options struct {
 	// batch's source six times); use Replay for trace-driven ASR
 	// best-of-six.
 	Source func(batch int) RefSource
+
+	// Shards, when > 1, fans each replay batch's trace decoding across
+	// that many parallel workers (replay only; requires a v2 indexed
+	// trace). The simulation itself stays sequential and consumes refs
+	// in exact file order, so a sharded replay's Result is bit-identical
+	// to a sequential one — only chunk decompression overlaps it.
+	Shards int
+	// WindowStart and WindowRefs restrict a replay to the trace records
+	// [WindowStart, WindowStart+WindowRefs), sampling a region of a long
+	// trace without scanning from the start (replay only; requires a v2
+	// indexed trace). WindowRefs 0 with WindowStart > 0 means "to the
+	// end of the trace". When a window is set and Warm/Measure are
+	// unset, Warm defaults to a fifth of the window and Measure to the
+	// remainder, instead of the recording run's split.
+	WindowStart, WindowRefs uint64
 }
+
+// windowed reports whether replay options restrict the trace to a
+// record window.
+func (o Options) windowed() bool { return o.WindowStart > 0 || o.WindowRefs > 0 }
 
 func (o Options) withDefaults(w Workload) Options {
 	if o.Warm == 0 {
@@ -323,6 +345,11 @@ func Record(w Workload, id DesignID, opt Options, path string) (Result, error) {
 // timing designs whose adaptation has internal randomness, and for
 // exercising the batch fold — though for the deterministic designs every
 // batch yields the same Result.
+//
+// On v2 indexed traces, Options.Shards > 1 fans each batch's chunk
+// decoding across parallel workers (bit-identical results, decode off
+// the simulation's critical path), and Options.WindowStart/WindowRefs
+// replay a record window without scanning from the file's start.
 func Replay(path string, id DesignID, opt Options) (Result, error) {
 	opt, w, err := replaySetup(path, opt)
 	if err != nil {
@@ -345,7 +372,9 @@ func ReplayWith(path string, opt Options, mk func(*sim.Chassis) sim.Design) (Res
 }
 
 // replaySetup validates the trace header and resolves replay options
-// against it.
+// against it: for sharded or windowed replays the trace must carry a v2
+// chunk index, and a record window rescopes the default Warm/Measure
+// split from the recording run's to the window itself.
 func replaySetup(path string, opt Options) (Options, Workload, error) {
 	if opt.Source != nil {
 		return opt, Workload{}, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
@@ -360,32 +389,117 @@ func replaySetup(path string, opt Options) (Options, Workload, error) {
 		return opt, Workload{}, fmt.Errorf("rnuca: trace %s declares %d cores", path, hdr.Cores)
 	}
 	w := workloadFor(hdr)
-	if opt.Warm == 0 {
-		opt.Warm = hdr.Warm
+
+	// available is the record count the replay may consume: the header's
+	// declared total (0 = streaming trace of unknown length, exempt from
+	// the oversampling check below), narrowed to the window when one is
+	// set. Sharded and windowed replays read the exact total from the
+	// index footer, which is authoritative even for unpatched headers.
+	available := hdr.Refs
+	if opt.Shards > 1 || opt.windowed() {
+		ix, err := tracefile.OpenIndexed(path)
+		if err != nil {
+			return opt, Workload{}, fmt.Errorf("rnuca: replaying %s with shards/window: %w", path, err)
+		}
+		available = ix.Refs()
+		ix.Close()
 	}
-	if opt.Measure == 0 {
-		opt.Measure = hdr.Measure
+	if opt.windowed() {
+		if opt.WindowStart >= available {
+			return opt, Workload{}, fmt.Errorf("rnuca: trace %s window starts at record %d of %d",
+				path, opt.WindowStart, available)
+		}
+		if opt.WindowRefs == 0 {
+			opt.WindowRefs = available - opt.WindowStart
+		}
+		if opt.WindowStart+opt.WindowRefs > available {
+			return opt, Workload{}, fmt.Errorf("rnuca: trace %s window [%d,%d) outside its %d records",
+				path, opt.WindowStart, opt.WindowStart+opt.WindowRefs, available)
+		}
+		win := opt.WindowRefs
+		if win < 5 {
+			return opt, Workload{}, fmt.Errorf("rnuca: trace %s window of %d refs too small to replay", path, win)
+		}
+		if opt.Warm == 0 {
+			opt.Warm = int(win / 5)
+		}
+		if opt.Measure == 0 {
+			if uint64(opt.Warm) >= win {
+				return opt, Workload{}, fmt.Errorf(
+					"rnuca: trace %s window of %d refs leaves nothing to measure after %d warmup", path, win, opt.Warm)
+			}
+			opt.Measure = int(win) - opt.Warm
+		}
+		available = win
+	} else {
+		if opt.Warm == 0 {
+			opt.Warm = hdr.Warm
+		}
+		if opt.Measure == 0 {
+			opt.Measure = hdr.Measure
+		}
 	}
 	opt = opt.withDefaults(w)
 	if opt.Config.Cores != hdr.Cores {
 		return opt, Workload{}, fmt.Errorf("rnuca: trace %s has %d cores, config has %d",
 			path, hdr.Cores, opt.Config.Cores)
 	}
-	// A replay that needs more refs than the trace holds would recycle
-	// recorded references (the demux loops per core); refuse rather than
-	// let oversampled results masquerade as a longer run. Traces without
-	// a declared count (streaming writers) are exempt — the length is
-	// unknowable up front.
-	if need := uint64(opt.Warm) + uint64(opt.Measure); hdr.Refs > 0 && need > hdr.Refs {
+	// A replay that needs more refs than the trace (or window) holds
+	// would recycle recorded references (the demux loops per core);
+	// refuse rather than let oversampled results masquerade as a longer
+	// run. Traces without a declared count (streaming writers) are
+	// exempt — the length is unknowable up front.
+	if need := uint64(opt.Warm) + uint64(opt.Measure); available > 0 && need > available {
 		return opt, Workload{}, fmt.Errorf(
-			"rnuca: trace %s holds %d refs but replay needs %d (warm %d + measure %d); record a longer trace or lower the counts",
-			path, hdr.Refs, need, opt.Warm, opt.Measure)
+			"rnuca: trace %s holds %d replayable refs but replay needs %d (warm %d + measure %d); record a longer trace or lower the counts",
+			path, available, need, opt.Warm, opt.Measure)
 	}
 	return opt, w, nil
 }
 
+// openReplaySource opens one batch's view of the trace: a plain
+// streaming reader by default, an indexed window cursor or parallel
+// sharded decoder when the options ask for one. The returned close
+// function is safe to call after exhaustion.
+func openReplaySource(path string, opt Options) (src interface {
+	trace.RefSource
+	Err() error
+}, closeSrc func(), err error) {
+	if opt.Shards <= 1 && !opt.windowed() {
+		f, err := tracefile.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	}
+	ix, err := tracefile.OpenIndexed(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rnuca: replaying %s with shards/window: %w", path, err)
+	}
+	start, n := opt.WindowStart, opt.WindowRefs
+	if n == 0 {
+		n = ix.Refs() - start
+	}
+	if opt.Shards > 1 {
+		p, err := ix.Parallel(opt.Shards, start, n)
+		if err != nil {
+			ix.Close()
+			return nil, nil, err
+		}
+		return p, func() { p.Close(); ix.Close() }, nil
+	}
+	c, err := ix.Window(start, n)
+	if err != nil {
+		ix.Close()
+		return nil, nil, err
+	}
+	return c, func() { ix.Close() }, nil
+}
+
 // replayBatches runs opt.Batches replay engines over one trace in
-// parallel and folds the results in batch order.
+// parallel and folds the results in batch order. Each batch opens its
+// own view of the file — sequential, windowed, or sharded per the
+// options — so batches never contend on shared reader state.
 func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) sim.Design) (Result, error) {
 	results := make([]sim.Result, opt.Batches)
 	errs := make([]error, opt.Batches)
@@ -394,12 +508,12 @@ func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) s
 		wg.Add(1)
 		go func(b int) {
 			defer wg.Done()
-			src, err := tracefile.Open(path)
+			src, closeSrc, err := openReplaySource(path, opt)
 			if err != nil {
 				errs[b] = err
 				return
 			}
-			defer src.Close()
+			defer closeSrc()
 			// A corrupt or truncated trace surfaces as an error, not a
 			// crash: the demux's panics are "trace:"-prefixed, and a
 			// reader that failed mid-stream must not let the run pass
