@@ -1,19 +1,33 @@
-// Command rnuca-trace captures, inspects, indexes, and replays L2
-// reference traces in the tracefile format (see internal/tracefile).
+// Command rnuca-trace captures, converts, inspects, indexes, and
+// replays L2 reference traces in the tracefile format (see
+// internal/tracefile and internal/ingest).
 //
 // Usage:
 //
 //	rnuca-trace record -workload OLTP-DB2 [-design R] [-warm N]
 //	            [-measure N] [-seed S] -o trace.rnt
+//	rnuca-trace record -all [-set primary|extended] [-seeds N]
+//	            [-jobs J] [-design R] [-warm N] [-measure N] -dir DIR
+//	rnuca-trace convert [-format din|champsim|csv] [-cores N]
+//	            [-interleave files|stride|keep] [-stride N]
+//	            [-classify stream|twopass|off] [-max-pages N]
+//	            [-page-bytes N] [-busy N] [-mlp F] [-workload NAME]
+//	            -o trace.rnt INPUT...
 //	rnuca-trace info trace.rnt
-//	rnuca-trace index [-upgrade OUT] trace.rnt
+//	rnuca-trace index [-upgrade OUT] [-stats] trace.rnt
 //	rnuca-trace replay [-design R | -design P,A,S,R,I | -design all]
 //	            [-warm N] [-measure N] [-batches B] [-shards N]
 //	            [-window START:N] trace.rnt
 //
 // record runs a workload through a design once and tees the consumed
-// reference stream to disk. info prints the header and a scan summary.
-// index prints the v2 chunk index (or, with -upgrade, rewrites any
+// reference stream to disk; with -all it fans every catalog workload x
+// seed across -jobs parallel workers into -dir. convert ingests foreign
+// address traces (Dinero din, ChampSim-style text, generic CSV; gzip
+// transparently inflated) into an indexed v2 corpus, interleaving
+// single-threaded inputs onto cores and inferring page-grain classes
+// (see internal/ingest). info prints the header and a scan summary.
+// index prints the v2 chunk index (with -stats, per-chunk compressed
+// sizes and a lastAddr drift summary; with -upgrade, rewrites any
 // readable trace as an indexed v2 file). replay re-runs any of the five
 // designs over the saved trace, in parallel across designs and batches,
 // skipping generation cost; a same-design replay reproduces the
@@ -27,12 +41,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"rnuca"
+	"rnuca/internal/ingest"
 	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
 )
@@ -44,6 +61,8 @@ func main() {
 	switch os.Args[1] {
 	case "record":
 		record(os.Args[2:])
+	case "convert":
+		convert(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
 	case "index":
@@ -58,8 +77,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rnuca-trace record -workload NAME [-design R] [-warm N] [-measure N] [-seed S] -o FILE
+  rnuca-trace record -all [-set primary|extended] [-seeds N] [-jobs J] [-design R] [-warm N] [-measure N] -dir DIR
+  rnuca-trace convert [-format NAME] [-cores N] [-interleave files|stride|keep] [-stride N]
+              [-classify stream|twopass|off] [-max-pages N] [-page-bytes N] [-busy N] [-mlp F]
+              [-workload NAME] -o FILE INPUT...
   rnuca-trace info FILE
-  rnuca-trace index [-upgrade OUT] FILE
+  rnuca-trace index [-upgrade OUT] [-stats] FILE
   rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] [-shards N] [-window START:N] FILE`)
 	os.Exit(2)
 }
@@ -87,8 +110,19 @@ func record(args []string) {
 	warm := fs.Int("warm", 0, "warmup references (0 = default)")
 	measure := fs.Int("measure", 0, "measured references (0 = default)")
 	seed := fs.Uint64("seed", 0, "workload seed override (0 = workload default)")
-	out := fs.String("o", "", "output trace path (required)")
+	out := fs.String("o", "", "output trace path (required unless -all)")
+	all := fs.Bool("all", false, "record every catalog workload x seed instead of one")
+	set := fs.String("set", "primary", "catalog set for -all: primary or extended (primary + extras)")
+	seeds := fs.Int("seeds", 1, "seed variants per workload for -all")
+	jobs := fs.Int("jobs", 0, "parallel recording jobs for -all (0 = one per CPU)")
+	dir := fs.String("dir", "", "output directory for -all (required with -all)")
 	fs.Parse(args)
+	id := parseDesign(*ds)
+	opt := rnuca.Options{Warm: *warm, Measure: *measure}
+	if *all {
+		recordAll(id, opt, *set, *seeds, *jobs, *dir)
+		return
+	}
 	if *out == "" {
 		fatalf("record: -o is required")
 	}
@@ -99,9 +133,8 @@ func record(args []string) {
 	if *seed != 0 {
 		w.Seed = *seed
 	}
-	id := parseDesign(*ds)
 
-	res, err := rnuca.Record(w, id, rnuca.Options{Warm: *warm, Measure: *measure}, *out)
+	res, err := rnuca.Record(w, id, opt, *out)
 	if err != nil {
 		fatalf("record: %v", err)
 	}
@@ -118,6 +151,165 @@ func record(args []string) {
 	fmt.Printf("recorded %s under %s: %d measured refs, CPI %.4f\n", w.Name, id, res.Refs, res.CPI())
 	fmt.Printf("  %s: %d refs, %d bytes (%.2f bytes/ref)\n",
 		*out, total, st.Size(), float64(st.Size())/float64(total))
+}
+
+// recordAll fans every catalog workload x seed across parallel workers,
+// one trace file per (workload, seed) under dir. Seed variants follow
+// the library's batch convention (base + k*0x9E37), so trace k of a
+// workload matches batch k of a generator run.
+func recordAll(id rnuca.DesignID, opt rnuca.Options, set string, seeds, jobs int, dir string) {
+	if dir == "" {
+		fatalf("record -all: -dir is required")
+	}
+	if seeds < 1 {
+		fatalf("record -all: -seeds %d", seeds)
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	var specs []workload.Spec
+	switch set {
+	case "primary":
+		specs = workload.Primary()
+	case "extended":
+		specs = append(workload.Primary(), workload.Extended()...)
+	default:
+		fatalf("record -all: unknown set %q (primary, extended)", set)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("record -all: %v", err)
+	}
+
+	type job struct {
+		spec workload.Spec
+		k    int
+		path string
+	}
+	var queue []job
+	for _, w := range specs {
+		for k := 0; k < seeds; k++ {
+			ws := w
+			ws.Seed = w.Seed + uint64(k)*0x9E37
+			queue = append(queue, job{
+				spec: ws, k: k,
+				path: filepath.Join(dir, fmt.Sprintf("%s-s%d.rnt", ws.Name, k)),
+			})
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		failed int
+		next   int
+		wg     sync.WaitGroup
+	)
+	fmt.Printf("recording %d traces (%d workloads x %d seeds) under design %s with %d jobs\n",
+		len(queue), len(specs), seeds, id, jobs)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(queue) {
+					mu.Unlock()
+					return
+				}
+				j := queue[next]
+				next++
+				mu.Unlock()
+				res, err := rnuca.Record(j.spec, id, opt, j.path)
+				mu.Lock()
+				if err != nil {
+					failed++
+					fmt.Fprintf(os.Stderr, "  FAIL %s seed %d: %v\n", j.spec.Name, j.k, err)
+				} else {
+					var size int64
+					if st, serr := os.Stat(j.path); serr == nil {
+						size = st.Size()
+					}
+					fmt.Printf("  %-16s seed %d -> %s (%d refs, %d bytes, CPI %.4f)\n",
+						j.spec.Name, j.k, j.path, res.Refs, size, res.CPI())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if failed > 0 {
+		fatalf("record -all: %d of %d recordings failed", failed, len(queue))
+	}
+}
+
+// convert ingests foreign address traces into an indexed v2 corpus.
+func convert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	format := fs.String("format", "", "input format for every input (default: detect per input from the extension)")
+	cores := fs.Int("cores", 0, "converted core count (default: input count for files mode, 16 for stride; required for keep)")
+	inter := fs.String("interleave", "files", "core mapping: files (one input per core), stride (slice one stream), keep (trust input core fields)")
+	stride := fs.Int("stride", ingest.DefaultStride, "refs per core run in stride mode")
+	classify := fs.String("classify", "stream", "class inference: stream (online, one pass), twopass (settled classes, two passes), off")
+	maxPages := fs.Int("max-pages", 0, "bound the classifier's page table to N pages (0 = unbounded)")
+	pageBytes := fs.Int("page-bytes", ingest.DefaultPageBytes, "classifier page size in bytes (power of two)")
+	busy := fs.Int("busy", ingest.DefaultBusy, "busy cycles charged per reference")
+	mlp := fs.Float64("mlp", ingest.DefaultMLP, "off-chip memory-level parallelism recorded in the header")
+	name := fs.String("workload", "", "corpus workload name (default: first input's base name)")
+	out := fs.String("o", "", "output trace path (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatalf("convert: -o is required")
+	}
+	if fs.NArg() == 0 {
+		fatalf("convert: no inputs (formats: %s)", formatList())
+	}
+	im, err := ingest.ParseInterleaveMode(*inter)
+	if err != nil {
+		fatalf("convert: %v", err)
+	}
+	cm, err := ingest.ParseClassifyMode(*classify)
+	if err != nil {
+		fatalf("convert: %v", err)
+	}
+
+	sum, err := ingest.Convert(fs.Args(), *out, ingest.Options{
+		Format:     *format,
+		Cores:      *cores,
+		Interleave: im,
+		Stride:     *stride,
+		Classify:   cm,
+		MaxPages:   *maxPages,
+		PageBytes:  *pageBytes,
+		Busy:       *busy,
+		OffChipMLP: *mlp,
+		Workload:   *name,
+	})
+	if err != nil {
+		fatalf("convert: %v", err)
+	}
+	fmt.Printf("converted %d input(s) -> %s (%s, %d cores)\n", len(sum.Inputs), sum.Out, sum.Workload, sum.Cores)
+	for _, in := range sum.Inputs {
+		fmt.Printf("  %-24s %-10s %d refs\n", in.Path, in.Format, in.Refs)
+	}
+	total := sum.Refs
+	fmt.Printf("  refs         %d in %d chunks, %d bytes (%.2f bytes/ref)\n",
+		total, sum.Chunks, sum.Bytes, float64(sum.Bytes)/float64(total))
+	fmt.Printf("  kinds        ifetch %s, load %s, store %s\n",
+		pct(sum.Kinds[0], total), pct(sum.Kinds[1], total), pct(sum.Kinds[2], total))
+	if cm != ingest.ClassifyOff {
+		fmt.Printf("  classes      instr %s, private %s, shared %s\n",
+			pct(sum.Classes[1], total), pct(sum.Classes[2], total), pct(sum.Classes[3], total))
+		cs := sum.Classify
+		fmt.Printf("  classifier   %d pages (%d evicted), %d first touches, %d->shared, %d migrations\n",
+			cs.Pages, cs.Evictions, cs.FirstTouches, cs.PrivateToShared+cs.InstrToShared, cs.Migrations)
+	}
+}
+
+func formatList() string {
+	var names []string
+	for _, f := range ingest.Formats() {
+		names = append(names, f.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 func info(args []string) {
@@ -185,10 +377,14 @@ func info(args []string) {
 }
 
 // index prints a v2 trace's chunk index, or rewrites a trace (any
-// readable version) as an indexed v2 file with -upgrade.
+// readable version) as an indexed v2 file with -upgrade. With -stats it
+// adds per-chunk compressed sizes and a lastAddr drift summary, the
+// corpus-hygiene view: wildly uneven chunk sizes or runaway address
+// drift flag a trace that was converted or recorded wrong.
 func index(args []string) {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	upgrade := fs.String("upgrade", "", "rewrite FILE as an indexed v2 trace at this path")
+	stats := fs.Bool("stats", false, "print per-chunk compressed sizes and a lastAddr drift summary")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -210,7 +406,12 @@ func index(args []string) {
 	hdr := x.Header()
 	fmt.Printf("%s: %d records in %d chunks (%s, %d cores)\n",
 		path, x.Refs(), x.Chunks(), hdr.Workload, hdr.Cores)
-	fmt.Printf("  %-6s %-12s %-12s %s\n", "chunk", "offset", "first-rec", "records")
+	if *stats {
+		fmt.Printf("  %-6s %-12s %-12s %-10s %-10s %s\n",
+			"chunk", "offset", "first-rec", "records", "comp-bytes", "bytes/ref")
+	} else {
+		fmt.Printf("  %-6s %-12s %-12s %s\n", "chunk", "offset", "first-rec", "records")
+	}
 	const maxRows = 48
 	for i := 0; i < x.Chunks(); i++ {
 		if x.Chunks() > maxRows && i == maxRows-8 {
@@ -218,8 +419,79 @@ func index(args []string) {
 			i = x.Chunks() - 8
 		}
 		e := x.Entry(i)
-		fmt.Printf("  %-6d %-12d %-12d %d\n", i, e.Offset, e.FirstRecord, e.Count)
+		if *stats {
+			size := x.ChunkCompressedBytes(i)
+			fmt.Printf("  %-6d %-12d %-12d %-10d %-10d %.2f\n",
+				i, e.Offset, e.FirstRecord, e.Count, size, float64(size)/float64(e.Count))
+		} else {
+			fmt.Printf("  %-6d %-12d %-12d %d\n", i, e.Offset, e.FirstRecord, e.Count)
+		}
 	}
+	if *stats {
+		printIndexStats(x)
+	}
+}
+
+// printIndexStats summarizes chunk sizes and per-core lastAddr drift
+// between consecutive chunk snapshots.
+func printIndexStats(x *tracefile.IndexedReader) {
+	var minSize, maxSize, sumSize uint64
+	for i := 0; i < x.Chunks(); i++ {
+		s := x.ChunkCompressedBytes(i)
+		if i == 0 || s < minSize {
+			minSize = s
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+		sumSize += s
+	}
+	fmt.Printf("  chunk sizes  min %d, mean %.0f, max %d bytes\n",
+		minSize, float64(sumSize)/float64(x.Chunks()), maxSize)
+
+	// Drift: how far each core's delta-base address moves between
+	// consecutive chunk snapshots. A healthy corpus drifts within its
+	// footprint; monotone growth reveals an address-space walk (e.g. a
+	// converted trace whose addresses were parsed in the wrong radix).
+	var (
+		maxDrift          uint64
+		maxCore, maxChunk int
+		sumDrift          float64
+		samples           int
+	)
+	for i := 1; i < x.Chunks(); i++ {
+		prev, cur := x.Entry(i-1).LastAddr, x.Entry(i).LastAddr
+		for c := range cur {
+			d := cur[c] - prev[c]
+			if int64(d) < 0 {
+				d = -d
+			}
+			sumDrift += float64(d)
+			samples++
+			if d > maxDrift {
+				maxDrift, maxCore, maxChunk = d, c, i
+			}
+		}
+	}
+	if samples == 0 {
+		fmt.Printf("  drift        single chunk, no inter-chunk drift\n")
+		return
+	}
+	first := x.Entry(0).LastAddr
+	last := x.Entry(x.Chunks() - 1).LastAddr
+	var netMax uint64
+	netCore := 0
+	for c := range last {
+		d := last[c] - first[c]
+		if int64(d) < 0 {
+			d = -d
+		}
+		if d > netMax {
+			netMax, netCore = d, c
+		}
+	}
+	fmt.Printf("  drift        mean %.0f bytes/chunk, max %d (core %d, chunk %d); net max %d (core %d)\n",
+		sumDrift/float64(samples), maxDrift, maxCore, maxChunk, netMax, netCore)
 }
 
 // upgradeTrace re-encodes src (v1 or v2) into an indexed v2 trace at

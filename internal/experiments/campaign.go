@@ -52,19 +52,21 @@ type Campaign struct {
 	Scale Scale
 	// Shards > 1 fans every trace-backed replay's chunk decoding across
 	// that many workers (v2 indexed traces only); results are unchanged.
-	Shards  int
-	results map[string]map[rnuca.DesignID]rnuca.Result
-	rnucaBy map[string]map[int]rnuca.Result // cluster-size sweep cache
-	traces  map[string]traceSource          // workload name -> trace
+	Shards   int
+	results  map[string]map[rnuca.DesignID]rnuca.Result
+	rnucaBy  map[string]map[int]rnuca.Result // cluster-size sweep cache
+	traces   map[string]traceSource          // workload name -> trace
+	ingested map[string]rnuca.Workload       // ingested corpora, by name
 }
 
 // NewCampaign builds an empty campaign at the given scale.
 func NewCampaign(s Scale) *Campaign {
 	return &Campaign{
-		Scale:   s,
-		results: map[string]map[rnuca.DesignID]rnuca.Result{},
-		rnucaBy: map[string]map[int]rnuca.Result{},
-		traces:  map[string]traceSource{},
+		Scale:    s,
+		results:  map[string]map[rnuca.DesignID]rnuca.Result{},
+		rnucaBy:  map[string]map[int]rnuca.Result{},
+		traces:   map[string]traceSource{},
+		ingested: map[string]rnuca.Workload{},
 	}
 }
 
@@ -83,6 +85,22 @@ func (c *Campaign) UseTrace(workloadName, path string) {
 // start. The characterization analyses read the same window.
 func (c *Campaign) UseTraceWindow(workloadName, path string, start, refs uint64) {
 	c.traces[workloadName] = traceSource{path: path, start: start, refs: refs}
+}
+
+// UseIngested registers an ingested corpus (a foreign trace converted
+// by rnuca-trace convert / internal/ingest): the workload is
+// synthesized from the corpus header, registered like a recorded trace
+// under its header name, and returned so the caller can feed it to
+// Result, analyze-backed figures, or CompareIngested. Ingested
+// workloads additionally join FigIngested's characterization suite.
+func (c *Campaign) UseIngested(path string) (rnuca.Workload, error) {
+	w, err := rnuca.TraceWorkload(path)
+	if err != nil {
+		return rnuca.Workload{}, err
+	}
+	c.traces[w.Name] = traceSource{path: path}
+	c.ingested[w.Name] = w
+	return w, nil
 }
 
 // run dispatches one workload x design simulation to the generator or to

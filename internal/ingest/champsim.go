@@ -1,0 +1,92 @@
+package ingest
+
+import (
+	"io"
+	"strings"
+
+	"rnuca/internal/trace"
+)
+
+func init() {
+	Register(Format{
+		Name:        "champsim",
+		Description: "ChampSim-style instruction stream: one instruction per line, \"ip [l:addr]... [s:addr]...\" (hex addresses)",
+		Extensions:  []string{".champsim", ".champ", ".ctrace"},
+		New: func(r io.Reader, file string) Decoder {
+			return &champsimDecoder{ls: newLineScanner(r, file, "champsim")}
+		},
+	})
+}
+
+// champsimDecoder streams a ChampSim-style textual instruction trace:
+// one instruction per line, mirroring the fields of ChampSim's binary
+// input_instr records that matter to an L2 reference stream. The first
+// field is the instruction pointer (emitted as an IFetch of that
+// address); the remaining fields are the instruction's memory operands,
+// "l:addr" or "r:addr" for source reads and "s:addr" or "w:addr" for
+// destination writes, each emitted as a Load or Store after the fetch.
+// Addresses are hexadecimal with an optional 0x prefix. Blank lines and
+// #-comments are skipped.
+type champsimDecoder struct {
+	ls      lineScanner
+	pending []trace.Ref // memory operands of the current line, in order
+	pos     int
+}
+
+// Next implements Decoder.
+func (d *champsimDecoder) Next() (trace.Ref, bool) {
+	if d.ls.err != nil {
+		// A failed line must not leak the operands parsed before the
+		// failure.
+		return trace.Ref{}, false
+	}
+	if d.pos < len(d.pending) {
+		r := d.pending[d.pos]
+		d.pos++
+		return r, true
+	}
+	for {
+		line, ok := d.ls.scan()
+		if !ok {
+			return trace.Ref{}, false
+		}
+		line = strings.TrimSpace(line)
+		if skippable(line) {
+			continue
+		}
+		fields := strings.Fields(line)
+		ip, err := parseAddr(fields[0], true)
+		if err != nil {
+			d.ls.errorf("instruction pointer: %v", err)
+			return trace.Ref{}, false
+		}
+		d.pending = d.pending[:0]
+		d.pos = 0
+		for _, f := range fields[1:] {
+			tag, rest, found := strings.Cut(f, ":")
+			var kind trace.Kind
+			switch strings.ToLower(tag) {
+			case "l", "r":
+				kind = trace.Load
+			case "s", "w":
+				kind = trace.Store
+			default:
+				found = false
+			}
+			if !found {
+				d.ls.errorf("bad memory operand %q (want l:addr or s:addr)", f)
+				return trace.Ref{}, false
+			}
+			addr, err := parseAddr(rest, true)
+			if err != nil {
+				d.ls.errorf("operand %q: %v", f, err)
+				return trace.Ref{}, false
+			}
+			d.pending = append(d.pending, trace.Ref{Kind: kind, Addr: addr})
+		}
+		return trace.Ref{Kind: trace.IFetch, Addr: ip}, true
+	}
+}
+
+// Err implements Decoder.
+func (d *champsimDecoder) Err() error { return d.ls.err }

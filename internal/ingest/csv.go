@@ -1,0 +1,94 @@
+package ingest
+
+import (
+	"io"
+	"strconv"
+	"strings"
+
+	"rnuca/internal/trace"
+)
+
+// maxCSVCore bounds the core/thread ids a CSV input may declare,
+// matching the tracefile format's own per-core state bound.
+const maxCSVCore = 1 << 12
+
+func init() {
+	Register(Format{
+		Name:        "csv",
+		Description: "generic CSV address stream: \"addr,kind[,core[,thread]]\" per line (0x-prefixed hex or decimal addresses)",
+		Extensions:  []string{".csv"},
+		New:         func(r io.Reader, file string) Decoder { return &csvDecoder{ls: newLineScanner(r, file, "csv")} },
+	})
+}
+
+// csvDecoder streams the generic fallback format: one access per line as
+// "addr,kind[,core[,thread]]". The address is decimal, or hexadecimal
+// with a 0x prefix; the kind accepts everything trace.KindFromString
+// does (ifetch/load/store, i/l/s, r/w, and the numeric Dinero labels);
+// core and thread are optional decimal ids (thread defaults to core),
+// letting a multi-core capture carry its own placement, which the
+// converter preserves under InterleaveKeep. An optional leading header
+// line ("addr,kind,...") and #-comments are skipped.
+type csvDecoder struct {
+	ls    lineScanner
+	first bool // true once the optional header has been dispatched
+}
+
+// Next implements Decoder.
+func (d *csvDecoder) Next() (trace.Ref, bool) {
+	for {
+		line, ok := d.ls.scan()
+		if !ok {
+			return trace.Ref{}, false
+		}
+		line = strings.TrimSpace(line)
+		if skippable(line) {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+		if !d.first {
+			d.first = true
+			if strings.EqualFold(fields[0], "addr") || strings.EqualFold(fields[0], "address") {
+				continue // header row
+			}
+		}
+		if len(fields) < 2 || len(fields) > 4 {
+			d.ls.errorf("want \"addr,kind[,core[,thread]]\", got %d fields", len(fields))
+			return trace.Ref{}, false
+		}
+		addr, err := parseAddr(fields[0], false)
+		if err != nil {
+			d.ls.errorf("%v", err)
+			return trace.Ref{}, false
+		}
+		kind, ok := trace.KindFromString(fields[1])
+		if !ok {
+			d.ls.errorf("bad access kind %q", fields[1])
+			return trace.Ref{}, false
+		}
+		ref := trace.Ref{Kind: kind, Addr: addr}
+		if len(fields) >= 3 {
+			core, err := strconv.Atoi(fields[2])
+			if err != nil || core < 0 || core >= maxCSVCore {
+				d.ls.errorf("bad core %q", fields[2])
+				return trace.Ref{}, false
+			}
+			ref.Core, ref.Thread = core, core
+		}
+		if len(fields) == 4 {
+			thread, err := strconv.Atoi(fields[3])
+			if err != nil || thread < 0 || thread >= maxCSVCore {
+				d.ls.errorf("bad thread %q", fields[3])
+				return trace.Ref{}, false
+			}
+			ref.Thread = thread
+		}
+		return ref, true
+	}
+}
+
+// Err implements Decoder.
+func (d *csvDecoder) Err() error { return d.ls.err }

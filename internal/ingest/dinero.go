@@ -1,0 +1,60 @@
+package ingest
+
+import (
+	"io"
+	"strings"
+
+	"rnuca/internal/trace"
+)
+
+func init() {
+	Register(Format{
+		Name:        "din",
+		Description: "Dinero din address trace: one access per line, \"label address\" (0/r=read, 1/w=write, 2/i=ifetch; hex addresses)",
+		Extensions:  []string{".din", ".dinero"},
+		New:         func(r io.Reader, file string) Decoder { return &dineroDecoder{ls: newLineScanner(r, file, "din")} },
+	})
+}
+
+// dineroDecoder streams the classic Dinero "din" input format: one
+// access per line as "label address", where the label is 0 (data read),
+// 1 (data write), or 2 (instruction fetch) — the letter aliases r/w/i
+// are accepted too — and the address is hexadecimal with an optional 0x
+// prefix. Fields past the second (some tracers append burst counts or
+// annotations) are ignored. Blank lines and #-comments are skipped.
+type dineroDecoder struct {
+	ls lineScanner
+}
+
+// Next implements Decoder.
+func (d *dineroDecoder) Next() (trace.Ref, bool) {
+	for {
+		line, ok := d.ls.scan()
+		if !ok {
+			return trace.Ref{}, false
+		}
+		line = strings.TrimSpace(line)
+		if skippable(line) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			d.ls.errorf("want \"label address\", got %q", line)
+			return trace.Ref{}, false
+		}
+		kind, ok := trace.KindFromString(fields[0])
+		if !ok {
+			d.ls.errorf("bad access label %q (want 0/1/2 or r/w/i)", fields[0])
+			return trace.Ref{}, false
+		}
+		addr, err := parseAddr(fields[1], true)
+		if err != nil {
+			d.ls.errorf("%v", err)
+			return trace.Ref{}, false
+		}
+		return trace.Ref{Kind: kind, Addr: addr}, true
+	}
+}
+
+// Err implements Decoder.
+func (d *dineroDecoder) Err() error { return d.ls.err }

@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fuzzDecoder drives one registered decoder over arbitrary bytes: it
+// must never panic, must terminate, and every failure must be a
+// ParseError carrying an exact position.
+func fuzzDecoder(f *testing.F, format string, seeds []string) {
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	fm, ok := ByName(format)
+	if !ok {
+		f.Fatalf("format %q unregistered", format)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := fm.New(strings.NewReader(string(data)), "fuzz.in")
+		n := 0
+		for {
+			_, ok := d.Next()
+			if !ok {
+				break
+			}
+			n++
+			if n > 1<<22 {
+				t.Fatalf("decoder produced %d refs from %d input bytes", n, len(data))
+			}
+		}
+		if err := d.Err(); err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a ParseError: %v", err, err)
+			}
+			if pe.Line <= 0 || pe.Offset < 0 || pe.File == "" {
+				t.Fatalf("ParseError lacks a position: %+v", pe)
+			}
+			// The error latches.
+			if _, ok := d.Next(); ok {
+				t.Fatal("decoder kept producing after an error")
+			}
+		}
+	})
+}
+
+func FuzzDinero(f *testing.F) {
+	fuzzDecoder(f, "din", []string{
+		"2 400000\n0 10000000\n1 20000000\n",
+		"# comment\nr 0xdeadbeef extra\nw 1f\ni 0\n",
+		"9 10\n", "0\n", "0 zz\n", " \n\n", "0 ffffffffffffffff\n",
+	})
+}
+
+func FuzzChampSim(f *testing.F) {
+	fuzzDecoder(f, "champsim", []string{
+		"401000 l:30000000 s:40000000\n401004\n",
+		"# c\n0x10 r:0x20 w:0x30\n",
+		"zz\n", "10 x:20\n", "10 l:\n", "10 l:zz\n", "10 :\n",
+	})
+}
+
+func FuzzCSV(f *testing.F) {
+	fuzzDecoder(f, "csv", []string{
+		"addr,kind,core,thread\n0x10,load,1,2\n16,store\n",
+		"# c\n0x10,ifetch\n",
+		"0x10,jump\n", "zz,load\n", "0x10,load,-1\n", "0x10,load,1,zz\n",
+		"0x10,load,1,2,3\n", ",\n",
+	})
+}

@@ -1,0 +1,294 @@
+package ingest
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rnuca/internal/trace"
+)
+
+// maxLineBytes bounds one input line, so a corrupt or adversarial stream
+// cannot force unbounded buffering before the decoder rejects it.
+const maxLineBytes = 1 << 20
+
+// Decoder streams trace.Refs decoded from one foreign-format input. It
+// follows the reader convention used throughout the repo: Next returns
+// false at the clean end of input and on error alike, Err distinguishes
+// the two. Decoders fill Kind and Addr always; Core and Thread only when
+// the format carries them (they default to 0, and the convert pipeline's
+// interleaver overrides them anyway unless asked to keep them); Class
+// and Busy are left for the classifier and the conversion options.
+type Decoder interface {
+	Next() (trace.Ref, bool)
+	Err() error
+}
+
+// Format describes one registered foreign trace format.
+type Format struct {
+	// Name is the registry key ("din", "champsim", "csv").
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// Extensions are the file extensions (with dot, lower-case) that
+	// select this format during detection; a trailing ".gz" is stripped
+	// before matching.
+	Extensions []string
+	// New wraps r in the format's streaming decoder. file names the
+	// input for error reporting only.
+	New func(r io.Reader, file string) Decoder
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Format{}
+)
+
+// Register adds a format to the registry; it panics on a duplicate or
+// unnamed registration (registration bugs are programmer errors).
+func Register(f Format) {
+	if f.Name == "" || f.New == nil {
+		panic("ingest: registering an unnamed or constructor-less format")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[f.Name]; dup {
+		panic(fmt.Sprintf("ingest: format %q registered twice", f.Name))
+	}
+	registry[f.Name] = f
+}
+
+// ByName returns the named format.
+func ByName(name string) (Format, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Formats returns every registered format, sorted by name.
+func Formats() []Format {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Format, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Detect resolves a format from a file name's extension, stripping a
+// trailing ".gz" first (compressed inputs are transparently inflated by
+// Open, so "trace.din.gz" is a Dinero input).
+func Detect(path string) (Format, bool) {
+	base := strings.ToLower(filepath.Base(path))
+	base = strings.TrimSuffix(base, ".gz")
+	ext := filepath.Ext(base)
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, f := range registry {
+		for _, e := range f.Extensions {
+			if ext == e {
+				return f, true
+			}
+		}
+	}
+	return Format{}, false
+}
+
+// Open opens one foreign trace input: the format is resolved (the
+// explicit name when given, extension detection otherwise), the payload
+// is transparently gunzipped when it starts with the gzip magic, and the
+// result is wrapped in the format's streaming decoder. The returned
+// closer releases the file and any decompressor.
+func Open(path, format string) (Decoder, io.Closer, error) {
+	var f Format
+	var ok bool
+	if format != "" {
+		if f, ok = ByName(format); !ok {
+			return nil, nil, fmt.Errorf("ingest: unknown format %q (have %s)", format, formatNames())
+		}
+	} else if f, ok = Detect(path); !ok {
+		return nil, nil, fmt.Errorf("ingest: cannot detect the format of %s; pass one of %s explicitly",
+			path, formatNames())
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: %w", err)
+	}
+	r, closer, err := maybeGunzip(file, path)
+	if err != nil {
+		file.Close()
+		return nil, nil, err
+	}
+	return f.New(r, filepath.Base(path)), closer, nil
+}
+
+// maybeGunzip sniffs the gzip magic on file and interposes a gzip reader
+// when present; either way the returned closer owns the file.
+func maybeGunzip(file *os.File, path string) (io.Reader, io.Closer, error) {
+	br := bufio.NewReaderSize(file, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, nil, fmt.Errorf("ingest: reading %s: %w", path, err)
+	}
+	if len(head) == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ingest: %s: bad gzip stream: %w", path, err)
+		}
+		return gz, multiCloser{gz, file}, nil
+	}
+	return br, file, nil
+}
+
+// multiCloser closes several closers in order, reporting the first error.
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var err error
+	for _, c := range m {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func formatNames() string {
+	fs := Formats()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseError reports a malformed input line with its exact location:
+// every decoding failure carries the input name, the 1-based line
+// number, and the byte offset of that line's start.
+type ParseError struct {
+	Format string
+	File   string
+	Line   int
+	Offset int64
+	Msg    string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ingest: %s:%d (%s format, byte offset %d): %s",
+		e.File, e.Line, e.Format, e.Offset, e.Msg)
+}
+
+// lineScanner iterates the lines of an input, tracking the line number
+// and byte offset of the line it most recently returned, so decoders can
+// report exact error positions. It latches the first error.
+type lineScanner struct {
+	br     *bufio.Reader
+	file   string
+	format string
+	line   int   // 1-based number of the last line returned
+	off    int64 // byte offset of that line's start
+	next   int64 // byte offset of the upcoming line
+	err    error
+}
+
+func newLineScanner(r io.Reader, file, format string) lineScanner {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	return lineScanner{br: br, file: file, format: format}
+}
+
+// errorf latches and returns a ParseError at the current position.
+func (s *lineScanner) errorf(format string, args ...interface{}) error {
+	err := &ParseError{
+		Format: s.format, File: s.file, Line: s.line, Offset: s.off,
+		Msg: fmt.Sprintf(format, args...),
+	}
+	if s.err == nil {
+		s.err = err
+	}
+	return err
+}
+
+// scan returns the next line with its terminator and any trailing CR
+// stripped, or false at end of input or on error.
+func (s *lineScanner) scan() (string, bool) {
+	if s.err != nil {
+		return "", false
+	}
+	s.off = s.next
+	var buf []byte
+	for {
+		chunk, err := s.br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > maxLineBytes {
+			s.line++
+			s.errorf("line exceeds %d bytes", maxLineBytes)
+			return "", false
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF {
+			if len(buf) == 0 {
+				return "", false
+			}
+			break
+		}
+		if err != nil {
+			s.line++
+			s.errorf("reading input: %v", err)
+			return "", false
+		}
+		break
+	}
+	s.line++
+	s.next += int64(len(buf))
+	line := strings.TrimRight(string(buf), "\r\n")
+	return line, true
+}
+
+// parseAddr parses one address field. hexDefault selects the radix of
+// unprefixed digits (Dinero and ChampSim addresses are conventionally
+// hex; the CSV fallback treats bare digits as decimal); an explicit "0x"
+// prefix always means hex.
+func parseAddr(s string, hexDefault bool) (uint64, error) {
+	base := 10
+	if hexDefault {
+		base = 16
+	}
+	if rest, ok := cutPrefixFold(s, "0x"); ok {
+		s, base = rest, 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+// cutPrefixFold is strings.CutPrefix with ASCII case folding.
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// skippable reports whether a trimmed line carries no record: blank
+// lines and #-comments are allowed in every text format.
+func skippable(line string) bool {
+	return line == "" || strings.HasPrefix(line, "#")
+}

@@ -1,0 +1,50 @@
+package ingest
+
+import "fmt"
+
+// InterleaveMode selects how single-threaded foreign traces are mapped
+// onto the cores of the converted workload.
+type InterleaveMode int
+
+// Interleaving modes.
+const (
+	// InterleaveFiles deals one input file per core, round-robin: refs
+	// are merged one-per-file in rotation, input i feeding core i (mod
+	// the core count). N single-threaded captures become an N-tile
+	// workload.
+	InterleaveFiles InterleaveMode = iota
+	// InterleaveStride slices the concatenated input stream into runs
+	// of Stride consecutive refs, dealing successive runs to successive
+	// cores — one public single-threaded trace becomes an N-tile
+	// workload whose tiles share its pages.
+	InterleaveStride
+	// InterleaveKeep preserves the core and thread ids the decoder
+	// produced (the CSV format can carry them); the converter only
+	// validates them against the configured core count.
+	InterleaveKeep
+)
+
+// String implements fmt.Stringer.
+func (m InterleaveMode) String() string {
+	switch m {
+	case InterleaveFiles:
+		return "files"
+	case InterleaveStride:
+		return "stride"
+	default:
+		return "keep"
+	}
+}
+
+// ParseInterleaveMode parses an InterleaveMode name.
+func ParseInterleaveMode(s string) (InterleaveMode, error) {
+	switch s {
+	case "files", "file", "round-robin":
+		return InterleaveFiles, nil
+	case "stride", "slice", "sliced":
+		return InterleaveStride, nil
+	case "keep", "none":
+		return InterleaveKeep, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown interleave mode %q (files, stride, keep)", s)
+}

@@ -14,6 +14,8 @@
 package trace
 
 import (
+	"strings"
+
 	"rnuca/internal/cache"
 )
 
@@ -37,6 +39,24 @@ func (k Kind) String() string {
 	default:
 		return "store"
 	}
+}
+
+// KindFromString parses an access kind. It accepts the String() forms,
+// common single-letter aliases, and the numeric Dinero labels, so the
+// external-trace decoders (internal/ingest) share one vocabulary:
+// instruction fetches are "ifetch"/"instr"/"i"/"2", loads are
+// "load"/"read"/"l"/"r"/"0", stores are "store"/"write"/"s"/"w"/"1".
+// Matching is case-insensitive.
+func KindFromString(s string) (Kind, bool) {
+	switch strings.ToLower(s) {
+	case "ifetch", "instr", "instruction", "i", "2":
+		return IFetch, true
+	case "load", "read", "l", "r", "0":
+		return Load, true
+	case "store", "write", "s", "w", "1":
+		return Store, true
+	}
+	return 0, false
 }
 
 // Ref is one L2 reference.

@@ -25,11 +25,18 @@ var ErrNoIndex = errors.New("tracefile: trace has no chunk index (v1 format; rew
 // parallel sources may run concurrently over one IndexedReader
 // (os.File's ReadAt is concurrency-safe).
 type IndexedReader struct {
-	ra     io.ReaderAt
-	closer io.Closer
-	hdr    Header
-	idx    []IndexEntry
-	total  uint64
+	ra       io.ReaderAt
+	closer   io.Closer
+	hdr      Header
+	idx      []IndexEntry
+	total    uint64
+	indexOff uint64
+
+	// batchPool recycles the []Ref batches the parallel decoder hands
+	// from workers to the consumer, so repeated Parallel runs over one
+	// reader settle at O(workers) live batches instead of allocating
+	// one per chunk.
+	batchPool sync.Pool
 }
 
 // OpenIndexed opens a trace file for random access.
@@ -78,7 +85,7 @@ func NewIndexedReader(ra io.ReaderAt, size int64) (*IndexedReader, error) {
 	if indexOff > uint64(size)-frameSize-footerSize {
 		return nil, corruptf("footer places index at %d in a %d-byte file", indexOff, size)
 	}
-	x := &IndexedReader{ra: ra, hdr: sr.Header(), total: total}
+	x := &IndexedReader{ra: ra, hdr: sr.Header(), total: total, indexOff: indexOff}
 	if err := x.loadIndex(indexOff, chunks, size); err != nil {
 		return nil, err
 	}
@@ -145,6 +152,23 @@ func (x *IndexedReader) Chunks() int { return len(x.idx) }
 
 // Entry returns the i-th chunk's index entry.
 func (x *IndexedReader) Entry(i int) IndexEntry { return x.idx[i] }
+
+// IndexOffset returns the byte offset of the index frame — the end of
+// the data chunks, so chunk i's frame occupies [Entry(i).Offset,
+// Entry(i+1).Offset) and the last chunk ends here.
+func (x *IndexedReader) IndexOffset() uint64 { return x.indexOff }
+
+// ChunkCompressedBytes returns chunk i's compressed payload size.
+// Chunks are written back to back, so it is the gap to the next frame
+// (the index frame, after the last chunk) minus the frame header.
+// rnuca-trace's index -stats uses it for corpus hygiene reports.
+func (x *IndexedReader) ChunkCompressedBytes(i int) uint64 {
+	end := x.indexOff
+	if i+1 < len(x.idx) {
+		end = x.idx[i+1].Offset
+	}
+	return end - x.idx[i].Offset - frameSize
+}
 
 // Close closes the underlying file when the reader owns one. Cursors
 // must not be used afterwards.
@@ -363,6 +387,7 @@ type ParallelSource struct {
 	wg      sync.WaitGroup
 
 	cur       []trace.Ref
+	curBatch  []trace.Ref // cur's full backing batch, recycled once drained
 	pos       int
 	chunkI    int // next pipeline slot to take from res
 	delivered uint64
@@ -395,8 +420,9 @@ func (x *IndexedReader) Parallel(workers int, start, n uint64) (*ParallelSource,
 }
 
 // decodeChunk decompresses chunk i in full and verifies it against the
-// index (record count and per-core snapshot).
-func (x *IndexedReader) decodeChunk(dec *chunkDecoder, i int) ([]trace.Ref, error) {
+// index (record count and per-core snapshot). The records are appended
+// to dst[:0], so callers can recycle batch backing arrays.
+func (x *IndexedReader) decodeChunk(dec *chunkDecoder, i int, dst []trace.Ref) ([]trace.Ref, error) {
 	e := &x.idx[i]
 	var frame [frameSize]byte
 	if _, err := x.ra.ReadAt(frame[:], int64(e.Offset)); err != nil {
@@ -421,7 +447,10 @@ func (x *IndexedReader) decodeChunk(dec *chunkDecoder, i int) ([]trace.Ref, erro
 	if !dec.load(rawLen, count) {
 		return nil, dec.err
 	}
-	refs := make([]trace.Ref, 0, count)
+	refs := dst[:0]
+	if cap(refs) < int(count) {
+		refs = make([]trace.Ref, 0, count)
+	}
 	for !dec.drained() {
 		r, ok := dec.decode()
 		if !ok {
@@ -474,7 +503,14 @@ func (p *ParallelSource) startPipeline() {
 					<-p.sem
 					return
 				}
-				refs, err := p.x.decodeChunk(dec, p.firstChunk+slot)
+				// Batches cycle through the reader's pool: the consumer
+				// returns each batch as it drains, so steady state runs
+				// on O(workers) batch arrays however long the trace.
+				var dst []trace.Ref
+				if b, ok := p.x.batchPool.Get().(*[]trace.Ref); ok {
+					dst = *b
+				}
+				refs, err := p.x.decodeChunk(dec, p.firstChunk+slot, dst)
 				p.res[slot] <- chunkBatch{refs: refs, err: err} // buffered; never blocks
 			}
 		}()
@@ -490,6 +526,7 @@ func (p *ParallelSource) Next() (trace.Ref, bool) {
 		p.startPipeline()
 	}
 	for p.pos >= len(p.cur) {
+		p.recycleBatch()
 		if p.delivered >= p.limit-p.start || p.chunkI >= len(p.res) {
 			return trace.Ref{}, false
 		}
@@ -508,12 +545,23 @@ func (p *ParallelSource) Next() (trace.Ref, bool) {
 			refs = refs[:len(refs)-int(end-p.limit)]
 		}
 		p.chunkI++
-		p.cur, p.pos = refs, 0
+		p.cur, p.curBatch, p.pos = refs, b.refs, 0
 	}
 	r := p.cur[p.pos]
 	p.pos++
 	p.delivered++
 	return r, true
+}
+
+// recycleBatch returns the drained batch's backing array to the
+// reader's pool for a decode worker to refill.
+func (p *ParallelSource) recycleBatch() {
+	if p.curBatch == nil {
+		return
+	}
+	b := p.curBatch[:0]
+	p.cur, p.curBatch = nil, nil
+	p.x.batchPool.Put(&b)
 }
 
 // Err returns the first error encountered, or nil after a clean end.
@@ -527,6 +575,7 @@ func (p *ParallelSource) Rewind() error {
 		return p.err
 	}
 	p.Close()
+	p.recycleBatch()
 	p.started = false
 	p.cur, p.pos, p.chunkI, p.delivered = nil, 0, 0, 0
 	return nil

@@ -38,12 +38,17 @@
 // can fan chunk decoding across workers (Options.Shards — results stay
 // bit-identical) and sample record windows without scanning from the
 // start (Options.WindowStart/WindowRefs). Arbitrary reference streams
-// plug in through Options.Source (any trace.RefSource); cmd/rnuca-trace
-// wraps record/info/index/replay for the command line.
+// plug in through Options.Source (any trace.RefSource), and externally
+// captured traces enter through internal/ingest: rnuca-trace convert
+// turns Dinero/ChampSim-style/CSV address streams into indexed v2
+// corpora with page-grain class inference, TraceWorkload synthesizes a
+// replayable workload from any corpus header, and cmd/rnuca-trace wraps
+// record/info/index/convert/replay for the command line.
 package rnuca
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -175,9 +180,19 @@ func ConfigFor(w Workload) sim.Config {
 	}
 	cfg := sim.Config16()
 	if w.Cores != cfg.Cores {
-		// Non-standard core counts build a square-ish grid.
+		// Non-standard core counts (ingested corpora mostly) build a
+		// square-ish grid, and the instruction cluster size is clamped
+		// to the largest power of two rotational interleaving supports
+		// on it (n <= tiles, and n divides the width or vice versa).
 		cfg.Cores = w.Cores
 		cfg.GridW, cfg.GridH = gridFor(w.Cores)
+		for n := cfg.InstrClusterSize; n > 1; n /= 2 {
+			if n <= w.Cores && (cfg.GridW%n == 0 || n%cfg.GridW == 0) {
+				cfg.InstrClusterSize = n
+				break
+			}
+			cfg.InstrClusterSize = n / 2
+		}
 	}
 	return cfg
 }
@@ -438,6 +453,17 @@ func replaySetup(path string, opt Options) (Options, Workload, error) {
 		if opt.Measure == 0 {
 			opt.Measure = hdr.Measure
 		}
+		// Ingested corpora (rnuca-trace convert) record no run split;
+		// when the caller sets none either, derive one from the trace
+		// length the way windows do: a fifth warms, the rest measures.
+		if opt.Warm == 0 && opt.Measure == 0 && available >= 5 {
+			n := available
+			if n > math.MaxInt32 {
+				n = math.MaxInt32
+			}
+			opt.Warm = int(n / 5)
+			opt.Measure = int(n) - opt.Warm
+		}
 	}
 	opt = opt.withDefaults(w)
 	if opt.Config.Cores != hdr.Cores {
@@ -572,6 +598,24 @@ func replayASRBest(path string, w Workload, opt Options) (Result, error) {
 	}
 	best.Design = "A"
 	return best, nil
+}
+
+// TraceWorkload reconstructs the workload a trace file describes: the
+// catalog entry when the header's name resolves, otherwise a minimal
+// spec carrying the header's core count and timing parameters. It is
+// how ingested corpora (rnuca-trace convert), whose workloads exist in
+// no catalog, enter the Replay/Campaign APIs.
+func TraceWorkload(path string) (Workload, error) {
+	f, err := tracefile.Open(path)
+	if err != nil {
+		return Workload{}, err
+	}
+	hdr := f.Header()
+	f.Close()
+	if hdr.Cores < 1 {
+		return Workload{}, fmt.Errorf("rnuca: trace %s declares %d cores", path, hdr.Cores)
+	}
+	return workloadFor(hdr), nil
 }
 
 // workloadFor reconstructs the workload a trace was recorded from: the
