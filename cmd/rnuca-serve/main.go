@@ -1,0 +1,118 @@
+// Command rnuca-serve runs the rnuca simulation service: an HTTP JSON
+// API (internal/serve) over a content-addressed corpus store
+// (internal/corpus), with a bounded worker pool and a memoized result
+// cache, so repeated replay/compare/figure requests over unchanged
+// corpora are answered without simulating.
+//
+// Usage:
+//
+//	rnuca-serve [-addr :8091] [-corpus DIR] [-ingest DIR] [-workers N]
+//	            [-queue N] [-cache N] [-history N] [-drain 30s]
+//
+// On SIGTERM or SIGINT the server stops accepting jobs, finishes what
+// is queued and running (up to -drain), and exits; a second signal
+// cancels running jobs and exits immediately.
+//
+// A minimal session against a running server:
+//
+//	curl -sT oltp.rnt 'localhost:8091/v1/corpora?name=oltp'
+//	curl -s localhost:8091/v1/jobs -d '{"kind":"replay","corpus":"oltp"}'
+//	curl -s localhost:8091/v1/jobs/<id>
+//	curl -s localhost:8091/metrics | grep result_cache
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rnuca/internal/corpus"
+	"rnuca/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8091", "listen address")
+	corpusDir := flag.String("corpus", "", "corpus store directory (empty = no store; replay/convert/figure jobs disabled)")
+	ingestDir := flag.String("ingest", "", "directory convert jobs may read foreign traces from (empty = convert jobs disabled)")
+	workers := flag.Int("workers", 0, "concurrent simulation jobs (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "queued-job bound (0 = default 64)")
+	cache := flag.Int("cache", 0, "result-cache entries (0 = default)")
+	history := flag.Int("history", 0, "finished jobs retained for /v1/jobs (0 = default 512)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
+	flag.Parse()
+
+	var store *corpus.Store
+	if *corpusDir != "" {
+		var err error
+		if store, err = corpus.Open(*corpusDir); err != nil {
+			fatalf("opening corpus store: %v", err)
+		}
+	}
+	s := serve.New(serve.Config{
+		Store:        store,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		IngestDir:    *ingestDir,
+		JobHistory:   *history,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("rnuca-serve listening on %s (%d workers", *addr, w)
+	if store != nil {
+		fmt.Printf(", corpus store %s", store.Root())
+	}
+	fmt.Println(")")
+
+	select {
+	case err := <-serveErr:
+		fatalf("serve: %v", err)
+	case sig := <-sigs:
+		fmt.Printf("rnuca-serve: %v, draining (budget %s; signal again to force)\n", sig, *drain)
+	}
+
+	// Drain: stop accepting (both at the listener and the job queue),
+	// let in-flight work finish, force-cancel on a second signal or an
+	// exhausted budget.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		select {
+		case <-sigs:
+			fmt.Println("rnuca-serve: forcing shutdown")
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "rnuca-serve: http shutdown: %v\n", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		fmt.Println("rnuca-serve: drain budget exhausted, canceling running jobs")
+		s.Close()
+		os.Exit(1)
+	}
+	s.Close()
+	fmt.Println("rnuca-serve: drained cleanly")
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rnuca-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

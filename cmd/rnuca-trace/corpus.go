@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rnuca/internal/corpus"
+)
+
+// corpusCmd dispatches the corpus-store subcommands: a thin CLI over
+// internal/corpus (see its doc.go for the store layout), the same
+// store rnuca-serve serves jobs from.
+//
+//	rnuca-trace corpus add -dir STORE [-name NAME] FILE...
+//	rnuca-trace corpus ls -dir STORE
+//	rnuca-trace corpus verify -dir STORE [REF...]   (default: all)
+//	rnuca-trace corpus rm -dir STORE NAME...        (drop names; gc collects)
+//	rnuca-trace corpus gc -dir STORE [-n]
+func corpusCmd(args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("corpus "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus store directory (required)")
+	name := fs.String("name", "", "reference name for add (default: the trace's workload name)")
+	dry := fs.Bool("n", false, "gc: list unreferenced objects without removing them")
+	fs.Parse(rest)
+	if *dir == "" {
+		fatalf("corpus %s: -dir is required", sub)
+	}
+	st, err := corpus.Open(*dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	switch sub {
+	case "add":
+		corpusAdd(st, fs.Args(), *name)
+	case "ls":
+		corpusLs(st)
+	case "verify":
+		corpusVerify(st, fs.Args())
+	case "rm":
+		corpusRm(st, fs.Args())
+	case "gc":
+		corpusGC(st, *dry)
+	default:
+		usage()
+	}
+}
+
+func corpusAdd(st *corpus.Store, files []string, name string) {
+	if len(files) == 0 {
+		fatalf("corpus add: no trace files")
+	}
+	if name != "" && len(files) > 1 {
+		fatalf("corpus add: -name binds one reference; add %d files without it", len(files))
+	}
+	for _, f := range files {
+		ent, added, err := st.Add(f, name)
+		if err != nil {
+			fatalf("corpus add %s: %v", f, err)
+		}
+		verb := "added"
+		if !added {
+			verb = "already stored"
+		}
+		fmt.Printf("%s %s -> %s (%s, %d cores, %d refs, %d bytes) as %v\n",
+			verb, f, ent.Digest[:12], ent.Workload, ent.Cores, ent.Refs, ent.Bytes, ent.Names)
+	}
+}
+
+func corpusLs(st *corpus.Store) {
+	ents, err := st.List()
+	if err != nil {
+		fatalf("corpus ls: %v", err)
+	}
+	if len(ents) == 0 {
+		fmt.Println("empty store")
+		return
+	}
+	fmt.Printf("%-14s %-16s %-6s %-10s %-10s %s\n", "digest", "workload", "cores", "refs", "bytes", "names")
+	for _, e := range ents {
+		fmt.Printf("%-14s %-16s %-6d %-10d %-10d %v\n",
+			e.Digest[:12], e.Workload, e.Cores, e.Refs, e.Bytes, e.Names)
+	}
+}
+
+func corpusVerify(st *corpus.Store, refs []string) {
+	if len(refs) == 0 {
+		ents, err := st.List()
+		if err != nil {
+			fatalf("corpus verify: %v", err)
+		}
+		for _, e := range ents {
+			refs = append(refs, e.Digest)
+		}
+	}
+	failed := 0
+	for _, ref := range refs {
+		ent, err := st.Verify(ref)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "  FAIL %s: %v\n", ref, err)
+			continue
+		}
+		fmt.Printf("  ok   %s (%s, %d refs in %d chunks)\n", ent.Digest[:12], ent.Workload, ent.Refs, ent.Chunks)
+	}
+	if failed > 0 {
+		fatalf("corpus verify: %d of %d objects failed", failed, len(refs))
+	}
+}
+
+func corpusRm(st *corpus.Store, names []string) {
+	if len(names) == 0 {
+		fatalf("corpus rm: no reference names")
+	}
+	for _, n := range names {
+		if err := st.DeleteRef(n); err != nil {
+			fatalf("corpus rm %s: %v", n, err)
+		}
+		fmt.Printf("removed ref %s (objects persist until corpus gc)\n", n)
+	}
+}
+
+func corpusGC(st *corpus.Store, dry bool) {
+	if dry {
+		// Dry run: everything listed minus everything referenced.
+		ents, err := st.List()
+		if err != nil {
+			fatalf("corpus gc: %v", err)
+		}
+		n := 0
+		for _, e := range ents {
+			if len(e.Names) == 0 {
+				fmt.Printf("would remove %s (%s, %d bytes)\n", e.Digest[:12], e.Workload, e.Bytes)
+				n++
+			}
+		}
+		fmt.Printf("%d unreferenced object(s)\n", n)
+		return
+	}
+	removed, err := st.GC()
+	if err != nil {
+		fatalf("corpus gc: %v", err)
+	}
+	var bytes int64
+	for _, e := range removed {
+		fmt.Printf("removed %s (%s, %d bytes)\n", e.Digest[:12], e.Workload, e.Bytes)
+		bytes += e.Bytes
+	}
+	fmt.Printf("collected %d object(s), %d bytes\n", len(removed), bytes)
+}

@@ -18,6 +18,7 @@
 //	rnuca-trace replay [-design R | -design P,A,S,R,I | -design all]
 //	            [-warm N] [-measure N] [-batches B] [-shards N]
 //	            [-window START:N] trace.rnt
+//	rnuca-trace corpus add|ls|verify|rm|gc -dir STORE ...
 //
 // record runs a workload through a design once and tees the consumed
 // reference stream to disk; with -all it fans every catalog workload x
@@ -33,7 +34,11 @@
 // skipping generation cost; a same-design replay reproduces the
 // recording run's numbers exactly. On indexed traces, -shards fans
 // chunk decoding across workers without changing results, and -window
-// replays only the records [START, START+N).
+// replays only the records [START, START+N). corpus manages a
+// content-addressed corpus store (internal/corpus) — the store
+// rnuca-serve answers jobs from: add validates and stores traces by
+// SHA-256 digest, ls lists manifests, verify re-checks content and
+// chunk structure, rm drops names, gc collects unreferenced objects.
 package main
 
 import (
@@ -69,6 +74,8 @@ func main() {
 		index(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "corpus":
+		corpusCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -83,7 +90,12 @@ func usage() {
               [-workload NAME] -o FILE INPUT...
   rnuca-trace info FILE
   rnuca-trace index [-upgrade OUT] [-stats] FILE
-  rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] [-shards N] [-window START:N] FILE`)
+  rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] [-shards N] [-window START:N] FILE
+  rnuca-trace corpus add -dir STORE [-name NAME] FILE...
+  rnuca-trace corpus ls -dir STORE
+  rnuca-trace corpus verify -dir STORE [REF...]
+  rnuca-trace corpus rm -dir STORE NAME...
+  rnuca-trace corpus gc -dir STORE [-n]`)
 	os.Exit(2)
 }
 
@@ -245,7 +257,7 @@ func recordAll(id rnuca.DesignID, opt rnuca.Options, set string, seeds, jobs int
 func convert(args []string) {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	format := fs.String("format", "", "input format for every input (default: detect per input from the extension)")
-	cores := fs.Int("cores", 0, "converted core count (default: input count for files mode, 16 for stride; required for keep)")
+	cores := fs.Int("cores", 0, "converted core count (default: input count for files mode, 16 for stride, scanned from input core ids for keep)")
 	inter := fs.String("interleave", "files", "core mapping: files (one input per core), stride (slice one stream), keep (trust input core fields)")
 	stride := fs.Int("stride", ingest.DefaultStride, "refs per core run in stride mode")
 	classify := fs.String("classify", "stream", "class inference: stream (online, one pass), twopass (settled classes, two passes), off")
@@ -286,7 +298,11 @@ func convert(args []string) {
 	if err != nil {
 		fatalf("convert: %v", err)
 	}
-	fmt.Printf("converted %d input(s) -> %s (%s, %d cores)\n", len(sum.Inputs), sum.Out, sum.Workload, sum.Cores)
+	auto := ""
+	if sum.AutoCores {
+		auto = ", auto-sized"
+	}
+	fmt.Printf("converted %d input(s) -> %s (%s, %d cores%s)\n", len(sum.Inputs), sum.Out, sum.Workload, sum.Cores, auto)
 	for _, in := range sum.Inputs {
 		fmt.Printf("  %-24s %-10s %d refs\n", in.Path, in.Format, in.Refs)
 	}

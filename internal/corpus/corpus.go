@@ -1,0 +1,597 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rnuca/internal/tracefile"
+)
+
+// ErrNotFound reports a reference that resolves to no stored corpus.
+var ErrNotFound = errors.New("corpus: not found")
+
+// ErrCorrupt reports a stored corpus whose content no longer matches
+// its digest or whose chunk structure fails verification.
+var ErrCorrupt = errors.New("corpus: corrupt object")
+
+// Entry describes one stored corpus: its content digest, sizes, and the
+// tracefile header summary recorded in its manifest.
+type Entry struct {
+	// Digest is the lowercase hex SHA-256 of the trace file's bytes —
+	// the address the object is stored and requested under.
+	Digest string `json:"digest"`
+	// Bytes is the object's on-disk size.
+	Bytes int64 `json:"bytes"`
+	// Refs and Chunks summarize the chunk index.
+	Refs   uint64 `json:"refs"`
+	Chunks int    `json:"chunks"`
+	// Header summary: enough to pick a corpus without opening it.
+	Workload   string  `json:"workload"`
+	Design     string  `json:"design,omitempty"`
+	Cores      int     `json:"cores"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Warm       int     `json:"warm,omitempty"`
+	Measure    int     `json:"measure,omitempty"`
+	OffChipMLP float64 `json:"offchip_mlp,omitempty"`
+	// AddedAt is when the object entered the store.
+	AddedAt time.Time `json:"added_at"`
+	// Names are the store references currently pointing at the object
+	// (not part of the manifest; refs are the source of truth).
+	Names []string `json:"names,omitempty"`
+}
+
+// Store is a content-addressed on-disk store for tracefile-v2 corpora.
+// Objects live under objects/<2-hex>/<digest>.rnt with a JSON manifest
+// alongside; human-readable names live under refs/<name>, each naming
+// one digest, git-style. All mutations stage in tmp/ and rename into
+// place, so a crash never leaves a half-written object addressable.
+// A Store is safe for concurrent use within one process.
+type Store struct {
+	root string
+	mu   sync.Mutex
+}
+
+// Open opens (creating as needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "refs"), filepath.Join(dir, "tmp")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Path returns the object path a digest is (or would be) stored at.
+func (s *Store) Path(digest string) string {
+	return filepath.Join(s.root, "objects", digest[:2], digest+".rnt")
+}
+
+func (s *Store) manifestPath(digest string) string {
+	return filepath.Join(s.root, "objects", digest[:2], digest+".json")
+}
+
+func (s *Store) refPath(name string) string {
+	return filepath.Join(s.root, "refs", name)
+}
+
+// validName reports whether a reference name is safe as a file name and
+// unambiguous with digests and digest prefixes.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	if isHex(name) {
+		return false // would shadow a digest or digest prefix
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '+':
+		default:
+			return false
+		}
+	}
+	return name != "." && name != ".."
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// sanitizeName coerces an arbitrary workload name into a valid
+// reference name.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '+':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if !validName(out) {
+		out = "corpus-" + out
+		if !validName(out) {
+			out = "corpus"
+		}
+	}
+	return out
+}
+
+// Add stores the trace file at src under its content digest and points
+// name at it ("" derives a name from the trace header's workload). The
+// input must be an indexed tracefile-v2 corpus — v1 or damaged traces
+// are rejected before anything is stored. added is false when the
+// object was already present (the ref is still updated).
+func (s *Store) Add(src, name string) (Entry, bool, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	return s.AddReader(f, name)
+}
+
+// AddReader is Add over a stream: the content is staged to a temporary
+// file while being hashed, validated through its chunk index, and
+// renamed into place.
+func (s *Store) AddReader(r io.Reader, name string) (Entry, bool, error) {
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "add-*.rnt")
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath)
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(tmp, h), r)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: staging: %w", err)
+	}
+	digest := hex.EncodeToString(h.Sum(nil))
+
+	// Validate before admitting: the object must open through its chunk
+	// index (v2, structurally sound), and the index totals become the
+	// manifest summary.
+	x, err := tracefile.OpenIndexed(tmpPath)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("corpus: rejecting input: %w", err)
+	}
+	hdr := x.Header()
+	ent := Entry{
+		Digest:     digest,
+		Bytes:      n,
+		Refs:       x.Refs(),
+		Chunks:     x.Chunks(),
+		Workload:   hdr.Workload,
+		Design:     hdr.Design,
+		Cores:      hdr.Cores,
+		Seed:       hdr.Seed,
+		Warm:       hdr.Warm,
+		Measure:    hdr.Measure,
+		OffChipMLP: hdr.OffChipMLP,
+		AddedAt:    time.Now().UTC(),
+	}
+	x.Close()
+	if name == "" {
+		name = sanitizeName(hdr.Workload)
+	} else if !validName(name) {
+		return Entry{}, false, fmt.Errorf("corpus: invalid reference name %q", name)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := false
+	if _, err := os.Stat(s.Path(digest)); err != nil {
+		if err := os.MkdirAll(filepath.Dir(s.Path(digest)), 0o755); err != nil {
+			return Entry{}, false, fmt.Errorf("corpus: %w", err)
+		}
+		if err := s.writeManifest(ent); err != nil {
+			return Entry{}, false, err
+		}
+		if err := os.Rename(tmpPath, s.Path(digest)); err != nil {
+			os.Remove(s.manifestPath(digest))
+			return Entry{}, false, fmt.Errorf("corpus: %w", err)
+		}
+		added = true
+	} else if prev, err := s.readManifest(digest); err == nil {
+		ent = prev // keep the original AddedAt
+	}
+	if err := s.writeRef(name, digest); err != nil {
+		return Entry{}, added, err
+	}
+	ent.Names = s.namesOf(digest)
+	return ent, added, nil
+}
+
+// writeManifest writes an object manifest atomically. Callers hold s.mu.
+func (s *Store) writeManifest(ent Entry) error {
+	ent.Names = nil
+	b, err := json.MarshalIndent(ent, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	tmp := filepath.Join(s.root, "tmp", "manifest-"+ent.Digest[:16]+".json")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := os.Rename(tmp, s.manifestPath(ent.Digest)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) readManifest(digest string) (Entry, error) {
+	b, err := os.ReadFile(s.manifestPath(digest))
+	if err != nil {
+		return Entry{}, fmt.Errorf("corpus: manifest for %s: %w", short(digest), err)
+	}
+	var ent Entry
+	if err := json.Unmarshal(b, &ent); err != nil {
+		return Entry{}, fmt.Errorf("corpus: manifest for %s: %w", short(digest), err)
+	}
+	return ent, nil
+}
+
+// writeRef points name at digest atomically. Callers hold s.mu.
+func (s *Store) writeRef(name, digest string) error {
+	tmp := filepath.Join(s.root, "tmp", "ref-"+name)
+	if err := os.WriteFile(tmp, []byte(digest+"\n"), 0o644); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := os.Rename(tmp, s.refPath(name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
+}
+
+// refs returns the name -> digest map. Callers hold s.mu.
+func (s *Store) refs() (map[string]string, error) {
+	des, err := os.ReadDir(filepath.Join(s.root, "refs"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	out := make(map[string]string, len(des))
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(s.refPath(de.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		out[de.Name()] = strings.TrimSpace(string(b))
+	}
+	return out, nil
+}
+
+// namesOf returns the sorted reference names pointing at digest.
+// Callers hold s.mu.
+func (s *Store) namesOf(digest string) []string {
+	refs, err := s.refs()
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for name, d := range refs {
+		if d == digest {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// digests returns every stored object digest. Callers hold s.mu.
+func (s *Store) digests() ([]string, error) {
+	var out []string
+	prefixes, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() {
+			continue
+		}
+		des, err := os.ReadDir(filepath.Join(s.root, "objects", p.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		for _, de := range des {
+			if name, ok := strings.CutSuffix(de.Name(), ".rnt"); ok && len(name) == 64 && isHex(name) {
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Resolve maps a reference — a full digest, a unique digest prefix of
+// at least 4 hex digits, or a ref name — to a stored object digest.
+func (s *Store) Resolve(ref string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resolve(ref)
+}
+
+func (s *Store) resolve(ref string) (string, error) {
+	if len(ref) == 64 && isHex(ref) {
+		if _, err := os.Stat(s.Path(ref)); err != nil {
+			return "", fmt.Errorf("%w: digest %s", ErrNotFound, short(ref))
+		}
+		return ref, nil
+	}
+	if len(ref) >= 4 && isHex(ref) {
+		ds, err := s.digests()
+		if err != nil {
+			return "", err
+		}
+		var match string
+		for _, d := range ds {
+			if strings.HasPrefix(d, ref) {
+				if match != "" {
+					return "", fmt.Errorf("corpus: digest prefix %q is ambiguous (%s, %s, ...)", ref, short(match), short(d))
+				}
+				match = d
+			}
+		}
+		if match != "" {
+			return match, nil
+		}
+		return "", fmt.Errorf("%w: digest prefix %s", ErrNotFound, ref)
+	}
+	refs, err := s.refs()
+	if err != nil {
+		return "", err
+	}
+	if d, ok := refs[ref]; ok {
+		if _, err := os.Stat(s.Path(d)); err != nil {
+			return "", fmt.Errorf("corpus: ref %q names missing object %s", ref, short(d))
+		}
+		return d, nil
+	}
+	return "", fmt.Errorf("%w: %q", ErrNotFound, ref)
+}
+
+// Get returns the entry a reference resolves to.
+func (s *Store) Get(ref string) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	digest, err := s.resolve(ref)
+	if err != nil {
+		return Entry{}, err
+	}
+	ent, err := s.readManifest(digest)
+	if err != nil {
+		return Entry{}, err
+	}
+	ent.Names = s.namesOf(digest)
+	return ent, nil
+}
+
+// List returns every stored entry, sorted by workload name then digest.
+// The refs directory is read once and inverted, not once per object.
+func (s *Store) List() ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, err := s.digests()
+	if err != nil {
+		return nil, err
+	}
+	refs, err := s.refs()
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[string][]string, len(refs))
+	for name, d := range refs {
+		names[d] = append(names[d], name)
+	}
+	out := make([]Entry, 0, len(ds))
+	for _, d := range ds {
+		ent, err := s.readManifest(d)
+		if err != nil {
+			return nil, err
+		}
+		ent.Names = names[d]
+		sort.Strings(ent.Names)
+		out = append(out, ent)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out, nil
+}
+
+// Stats returns the object count and total stored bytes from directory
+// metadata alone — no manifest parsing or ref reads — so a metrics
+// scrape can call it on every poll.
+func (s *Store) Stats() (objects int, bytes int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefixes, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("corpus: %w", err)
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() {
+			continue
+		}
+		des, err := os.ReadDir(filepath.Join(s.root, "objects", p.Name()))
+		if err != nil {
+			return 0, 0, fmt.Errorf("corpus: %w", err)
+		}
+		for _, de := range des {
+			name, ok := strings.CutSuffix(de.Name(), ".rnt")
+			if !ok || len(name) != 64 || !isHex(name) {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue // racing a concurrent GC; skip, do not fail the scrape
+			}
+			objects++
+			bytes += info.Size()
+		}
+	}
+	return objects, bytes, nil
+}
+
+// SetRef points name at the object ref resolves to.
+func (s *Store) SetRef(name, ref string) error {
+	if !validName(name) {
+		return fmt.Errorf("corpus: invalid reference name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	digest, err := s.resolve(ref)
+	if err != nil {
+		return err
+	}
+	return s.writeRef(name, digest)
+}
+
+// DeleteRef removes a named reference; the object it pointed at stays
+// until GC.
+func (s *Store) DeleteRef(name string) error {
+	if !validName(name) {
+		return fmt.Errorf("corpus: invalid reference name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.refPath(name)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: ref %q", ErrNotFound, name)
+		}
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
+}
+
+// Verify re-checks a stored object end to end: the content re-hashes to
+// its digest, the chunk index opens and its totals match the manifest,
+// and every record decodes with each chunk's final delta state matching
+// the index snapshot (the cursor enforces that as it crosses chunks).
+func (s *Store) Verify(ref string) (Entry, error) {
+	ent, err := s.Get(ref)
+	if err != nil {
+		return Entry{}, err
+	}
+	path := s.Path(ent.Digest)
+	f, err := os.Open(path)
+	if err != nil {
+		return ent, fmt.Errorf("corpus: %w", err)
+	}
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	f.Close()
+	if err != nil {
+		return ent, fmt.Errorf("corpus: re-hashing %s: %w", short(ent.Digest), err)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != ent.Digest {
+		return ent, fmt.Errorf("%w: %s re-hashes to %s", ErrCorrupt, short(ent.Digest), short(got))
+	}
+	if n != ent.Bytes {
+		return ent, fmt.Errorf("%w: %s holds %d bytes, manifest says %d", ErrCorrupt, short(ent.Digest), n, ent.Bytes)
+	}
+	x, err := tracefile.OpenIndexed(path)
+	if err != nil {
+		return ent, fmt.Errorf("%w: %s: %v", ErrCorrupt, short(ent.Digest), err)
+	}
+	defer x.Close()
+	if x.Refs() != ent.Refs || x.Chunks() != ent.Chunks {
+		return ent, fmt.Errorf("%w: %s index holds %d refs in %d chunks, manifest says %d in %d",
+			ErrCorrupt, short(ent.Digest), x.Refs(), x.Chunks(), ent.Refs, ent.Chunks)
+	}
+	cur, err := x.Window(0, x.Refs())
+	if err != nil {
+		return ent, fmt.Errorf("%w: %s: %v", ErrCorrupt, short(ent.Digest), err)
+	}
+	var decoded uint64
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		decoded++
+	}
+	if err := cur.Err(); err != nil {
+		return ent, fmt.Errorf("%w: %s after %d records: %v", ErrCorrupt, short(ent.Digest), decoded, err)
+	}
+	if decoded != ent.Refs {
+		return ent, fmt.Errorf("%w: %s decoded %d of %d records", ErrCorrupt, short(ent.Digest), decoded, ent.Refs)
+	}
+	return ent, nil
+}
+
+// GC removes every object no reference points at and returns the
+// removed entries.
+func (s *Store) GC() ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs, err := s.refs()
+	if err != nil {
+		return nil, err
+	}
+	live := make(map[string]bool, len(refs))
+	for _, d := range refs {
+		live[d] = true
+	}
+	ds, err := s.digests()
+	if err != nil {
+		return nil, err
+	}
+	var removed []Entry
+	for _, d := range ds {
+		if live[d] {
+			continue
+		}
+		ent, merr := s.readManifest(d)
+		if merr != nil {
+			ent = Entry{Digest: d}
+		}
+		if err := os.Remove(s.Path(d)); err != nil {
+			return removed, fmt.Errorf("corpus: %w", err)
+		}
+		os.Remove(s.manifestPath(d))
+		removed = append(removed, ent)
+	}
+	return removed, nil
+}
+
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
+}

@@ -1,0 +1,51 @@
+// Package corpus is a content-addressed on-disk store for tracefile-v2
+// corpora — the persistence layer under the rnuca-serve simulation
+// service and the `rnuca-trace corpus` subcommands. It owns recorded
+// and converted traces the way ROADMAP's "corpus store" item asks:
+// figure builds and replay jobs fetch corpora by digest and never pay
+// generation cost again.
+//
+// # Layout
+//
+// A store is a directory:
+//
+//	<root>/
+//	  objects/<p>/<digest>.rnt    the corpus bytes; p = first 2 hex digits
+//	  objects/<p>/<digest>.json   the manifest (Entry without Names)
+//	  refs/<name>                 one line: the digest the name points at
+//	  tmp/                        staging area for atomic renames
+//
+// Digests are lowercase hex SHA-256 of the trace file's bytes, so the
+// digest is stable across hosts and a stored object can always be
+// re-checked against its address. Objects are immutable: Add of
+// already-present content is a no-op that only updates the name.
+//
+// # Manifests
+//
+// Each object carries a JSON manifest summarizing its tracefile header
+// (workload, cores, seed, recorded warm/measure split, off-chip MLP)
+// plus the index totals (refs, chunks) and byte size, so listings and
+// schedulers can pick corpora without opening trace files.
+//
+// # Names (refs)
+//
+// refs/<name> files map human-readable names to digests, git-style.
+// Names are restricted to [A-Za-z0-9._+-] and may not be pure hex
+// (which would shadow digest prefixes). Resolution order for a
+// reference string: full 64-digit digest, unique digest prefix (>= 4
+// hex digits), then ref name.
+//
+// # Integrity
+//
+// Add validates before admitting: the input must open through its
+// chunk index (an indexed v2 trace), so v1 and structurally damaged
+// traces are rejected at the door. Verify re-checks a stored object
+// end to end — content re-hashes to its digest, index totals match the
+// manifest, and every record decodes with per-chunk delta-state
+// snapshots verified by the cursor. GC removes objects no ref points
+// at; DeleteRef + GC is the two-step deletion, so nothing disappears
+// while a name still promises it.
+//
+// All mutations stage under tmp/ and rename into place; a crash leaves
+// garbage in tmp/ but never a half-written addressable object.
+package corpus

@@ -7,9 +7,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rnuca"
+	"rnuca/internal/corpus"
+	"rnuca/internal/resultcache"
 	"rnuca/internal/sim"
 	"rnuca/internal/trace"
 	"rnuca/internal/tracefile"
@@ -41,10 +44,13 @@ func Full() Scale {
 }
 
 // traceSource names a registered trace backing a workload, optionally
-// narrowed to a record window.
+// narrowed to a record window. digest is the content SHA-256 when known
+// (corpus-store registrations carry it; plain paths are hashed lazily
+// the first time a shared result cache needs a key).
 type traceSource struct {
 	path        string
 	start, refs uint64
+	digest      string
 }
 
 // Campaign caches per-workload, per-design simulation results.
@@ -57,6 +63,7 @@ type Campaign struct {
 	rnucaBy  map[string]map[int]rnuca.Result // cluster-size sweep cache
 	traces   map[string]traceSource          // workload name -> trace
 	ingested map[string]rnuca.Workload       // ingested corpora, by name
+	rcache   *resultcache.Cache              // shared memoized results, optional
 }
 
 // NewCampaign builds an empty campaign at the given scale.
@@ -103,17 +110,95 @@ func (c *Campaign) UseIngested(path string) (rnuca.Workload, error) {
 	return w, nil
 }
 
+// SetResultCache attaches a shared memoized result cache (see
+// internal/resultcache): every simulation the campaign runs is keyed by
+// (design, corpus digest or canonical workload spec, canonical options)
+// and consulted there before running, so repeated figure builds over an
+// unchanged corpus — in this process or any other holder of the same
+// cache, like the rnuca-serve job service — perform zero simulation.
+func (c *Campaign) SetResultCache(rc *resultcache.Cache) { c.rcache = rc }
+
+// UseCorpus registers a stored corpus (internal/corpus) for replay and
+// the FigIngested suite, like UseIngested, with cache keys carrying the
+// store's content digest — the strongest identity a result cache can
+// key a trace-backed simulation by.
+func (c *Campaign) UseCorpus(st *corpus.Store, ref string) (rnuca.Workload, error) {
+	ent, err := st.Get(ref)
+	if err != nil {
+		return rnuca.Workload{}, err
+	}
+	path := st.Path(ent.Digest)
+	w, err := rnuca.TraceWorkload(path)
+	if err != nil {
+		return rnuca.Workload{}, err
+	}
+	c.traces[w.Name] = traceSource{path: path, digest: ent.Digest}
+	c.ingested[w.Name] = w
+	return w, nil
+}
+
 // run dispatches one workload x design simulation to the generator or to
-// a registered trace.
+// a registered trace, through the shared result cache when one is
+// attached.
 func (c *Campaign) run(w rnuca.Workload, id rnuca.DesignID, opt rnuca.Options) rnuca.Result {
 	if ts, ok := c.traces[w.Name]; ok {
-		r, err := rnuca.Replay(ts.path, id, c.traceOpts(ts, opt))
+		opt = c.traceOpts(ts, opt)
+		return c.cached(w, string(id), opt, func() (rnuca.Result, error) {
+			return rnuca.Replay(ts.path, id, opt)
+		})
+	}
+	return c.cached(w, string(id), opt, func() (rnuca.Result, error) {
+		return rnuca.Run(w, id, opt), nil
+	})
+}
+
+// cached runs compute through the shared result cache when one is
+// attached and the cell is keyable; errors panic exactly as the
+// uncached paths always have.
+func (c *Campaign) cached(w rnuca.Workload, designKey string, opt rnuca.Options, compute func() (rnuca.Result, error)) rnuca.Result {
+	key, ok := c.cellKey(w, designKey, opt)
+	if c.rcache == nil || !ok {
+		r, err := compute()
 		if err != nil {
-			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", ts.path, w.Name, err))
+			panic(fmt.Sprintf("experiments: %s on %s: %v", designKey, w.Name, err))
 		}
 		return r
 	}
-	return rnuca.Run(w, id, opt)
+	v, _, err := c.rcache.Do(context.Background(), key, func(context.Context) (any, error) {
+		return compute()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", designKey, w.Name, err))
+	}
+	return v.(rnuca.Result)
+}
+
+// cellKey builds the resultcache key for one campaign cell. Trace-backed
+// workloads key by content digest (hashed lazily and memoized when the
+// registration did not carry one); generated workloads key by their
+// canonical spec.
+func (c *Campaign) cellKey(w rnuca.Workload, designKey string, opt rnuca.Options) (string, bool) {
+	if c.rcache == nil {
+		return "", false
+	}
+	var source string
+	if ts, ok := c.traces[w.Name]; ok {
+		if ts.digest == "" {
+			d, err := resultcache.HashFile(ts.path)
+			if err != nil {
+				return "", false
+			}
+			ts.digest = d
+			c.traces[w.Name] = ts
+		}
+		source = resultcache.CorpusSource(ts.digest)
+	} else {
+		var ok bool
+		if source, ok = resultcache.WorkloadSource(w); !ok {
+			return "", false
+		}
+	}
+	return resultcache.Key(designKey, source, opt)
 }
 
 // traceOpts applies a registered trace's window and the campaign's
@@ -155,17 +240,20 @@ func (c *Campaign) Result(w rnuca.Workload, id rnuca.DesignID) rnuca.Result {
 // generator path. Full-methodology ASR goes through c.run, where both
 // rnuca.Run and rnuca.Replay apply the best-of-six sweep.
 func (c *Campaign) runAdaptiveASR(w rnuca.Workload, opt rnuca.Options) rnuca.Result {
+	// The cache key carries the methodology ("A/adaptive"): the
+	// single-variant result differs from the best-of-six "A" cell.
 	mk := func(ch *sim.Chassis) sim.Design { return rnuca.NewDesign(rnuca.DesignASR, ch) }
 	if ts, ok := c.traces[w.Name]; ok {
-		r, err := rnuca.ReplayWith(ts.path, c.traceOpts(ts, opt), mk)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: replaying %s for %s: %v", ts.path, w.Name, err))
-		}
-		return r
+		opt = c.traceOpts(ts, opt)
+		return c.cached(w, "A/adaptive", opt, func() (rnuca.Result, error) {
+			return rnuca.ReplayWith(ts.path, opt, mk)
+		})
 	}
 	cfg := rnuca.ConfigFor(w)
 	opt.Config = &cfg
-	return rnuca.RunWith(w, opt, mk)
+	return c.cached(w, "A/adaptive", opt, func() (rnuca.Result, error) {
+		return rnuca.RunWith(w, opt, mk), nil
+	})
 }
 
 // RNUCAWithClusterSize returns (running on demand) R-NUCA with the given

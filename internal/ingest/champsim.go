@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"io"
+	"strconv"
 	"strings"
 
 	"rnuca/internal/trace"
@@ -10,7 +11,7 @@ import (
 func init() {
 	Register(Format{
 		Name:        "champsim",
-		Description: "ChampSim-style instruction stream: one instruction per line, \"ip [l:addr]... [s:addr]...\" (hex addresses)",
+		Description: "ChampSim-style instruction stream: one instruction per line, \"[n:count] ip [l:addr]... [s:addr]...\" (hex addresses, decimal count)",
 		Extensions:  []string{".champsim", ".champ", ".ctrace"},
 		New: func(r io.Reader, file string) Decoder {
 			return &champsimDecoder{ls: newLineScanner(r, file, "champsim")}
@@ -21,16 +22,29 @@ func init() {
 // champsimDecoder streams a ChampSim-style textual instruction trace:
 // one instruction per line, mirroring the fields of ChampSim's binary
 // input_instr records that matter to an L2 reference stream. The first
-// field is the instruction pointer (emitted as an IFetch of that
-// address); the remaining fields are the instruction's memory operands,
-// "l:addr" or "r:addr" for source reads and "s:addr" or "w:addr" for
-// destination writes, each emitted as a Load or Store after the fetch.
-// Addresses are hexadecimal with an optional 0x prefix. Blank lines and
-// #-comments are skipped.
+// address field is the instruction pointer (emitted as an IFetch of
+// that address); the remaining fields are the instruction's memory
+// operands, "l:addr" or "r:addr" for source reads and "s:addr" or
+// "w:addr" for destination writes, each emitted as a Load or Store
+// after the fetch. Addresses are hexadecimal with an optional 0x
+// prefix. Blank lines and #-comments are skipped.
+//
+// The decoder derives per-ref Busy from instruction-count gaps between
+// lines instead of leaving the converter's flat budget to guess: each
+// line is one retired instruction, so at the engine's IPC-1 busy model
+// the IFetch of a line carries the instructions executed since the
+// previous line — 1 for a dense trace, or the actual gap when lines
+// carry an optional leading "n:COUNT" field (COUNT = cumulative
+// retired-instruction number, decimal, strictly increasing), the form
+// decimated traces use to preserve the work between recorded memory
+// instructions. A line's operand refs carry Busy 0: they belong to the
+// same instruction as the fetch that precedes them.
 type champsimDecoder struct {
 	ls      lineScanner
 	pending []trace.Ref // memory operands of the current line, in order
 	pos     int
+	icount  uint64 // cumulative retired instructions, after the current line
+	started bool   // whether any instruction line has been decoded
 }
 
 // Next implements Decoder.
@@ -55,6 +69,30 @@ func (d *champsimDecoder) Next() (trace.Ref, bool) {
 			continue
 		}
 		fields := strings.Fields(line)
+		busy := uint64(1)
+		if rest, ok := cutPrefixFold(fields[0], "n:"); ok {
+			count, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				d.ls.errorf("bad instruction count %q (want n:<decimal>)", fields[0])
+				return trace.Ref{}, false
+			}
+			if d.started {
+				if count <= d.icount {
+					d.ls.errorf("instruction count %d not after %d", count, d.icount)
+					return trace.Ref{}, false
+				}
+				busy = count - d.icount
+			}
+			d.icount = count
+			fields = fields[1:]
+			if len(fields) == 0 {
+				d.ls.errorf("instruction count without an instruction pointer")
+				return trace.Ref{}, false
+			}
+		} else {
+			d.icount++
+		}
+		d.started = true
 		ip, err := parseAddr(fields[0], true)
 		if err != nil {
 			d.ls.errorf("instruction pointer: %v", err)
@@ -84,9 +122,21 @@ func (d *champsimDecoder) Next() (trace.Ref, bool) {
 			}
 			d.pending = append(d.pending, trace.Ref{Kind: kind, Addr: addr})
 		}
-		return trace.Ref{Kind: trace.IFetch, Addr: ip}, true
+		if busy > 1<<30 {
+			// Bound the per-ref budget: a count jump this large is a
+			// damaged trace, not a real gap (and Busy is an int on
+			// 32-bit hosts).
+			d.ls.errorf("instruction-count gap %d implausibly large", busy)
+			return trace.Ref{}, false
+		}
+		return trace.Ref{Kind: trace.IFetch, Addr: ip, Busy: int(busy)}, true
 	}
 }
 
 // Err implements Decoder.
 func (d *champsimDecoder) Err() error { return d.ls.err }
+
+// DerivesBusy implements BusySource: the converter keeps this
+// decoder's Busy values instead of overwriting them with the flat
+// per-ref budget.
+func (d *champsimDecoder) DerivesBusy() bool { return true }

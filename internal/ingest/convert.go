@@ -34,8 +34,9 @@ type Options struct {
 	// per input from the file extension.
 	Format string
 	// Cores is the core count of the converted workload. 0 defaults to
-	// the input count (files mode) or DefaultCores (stride mode); keep
-	// mode requires it.
+	// the input count (files mode), DefaultCores (stride mode), or —
+	// in keep mode — the highest core id observed in a scan of the
+	// inputs plus one (pass 0); a non-zero value overrides the scan.
 	Cores int
 	// Interleave maps single-threaded inputs onto cores.
 	Interleave InterleaveMode
@@ -93,7 +94,9 @@ func (o Options) coresFor(inputs int) (int, error) {
 		return o.Cores, nil
 	default: // InterleaveKeep
 		if o.Cores == 0 {
-			return 0, fmt.Errorf("ingest: keep-mode conversion needs an explicit core count")
+			// Convert auto-sizes before resolving; reaching 0 here
+			// means the scan found no refs to size from.
+			return 0, fmt.Errorf("ingest: keep-mode conversion found no refs to size cores from")
 		}
 		return o.Cores, nil
 	}
@@ -111,7 +114,10 @@ type Summary struct {
 	Out      string
 	Workload string
 	Cores    int
-	Refs     uint64
+	// AutoCores reports that keep mode sized Cores by scanning the
+	// inputs' core ids (pass 0) rather than from an explicit option.
+	AutoCores bool
+	Refs      uint64
 	// Kinds counts refs by access kind (IFetch/Load/Store); Classes by
 	// assigned class (indexed by cache.Class).
 	Kinds   [3]uint64
@@ -135,15 +141,39 @@ func Convert(inputs []string, out string, opt Options) (*Summary, error) {
 		return nil, fmt.Errorf("ingest: no inputs to convert")
 	}
 	opt = opt.withDefaults()
+
+	var table *PageTable
+	if opt.Classify != ClassifyOff {
+		table = NewPageTable(opt.PageBytes, opt.MaxPages)
+	}
+	autoCores := opt.Interleave == InterleaveKeep && opt.Cores == 0
+	tableSettled := false
+	if autoCores {
+		// Pass 0: size the core count from the inputs' own core ids.
+		// When two-pass classification is on, the same scan settles the
+		// page table (observation order matches the keep-mode emit
+		// order: inputs concatenated in argument order), so auto-sizing
+		// never costs an extra decode.
+		var scanTable *PageTable
+		if opt.Classify == ClassifyTwoPass {
+			scanTable, tableSettled = table, true
+		}
+		maxCore, err := scanKeepInputs(inputs, opt, scanTable)
+		if err != nil {
+			return nil, err
+		}
+		opt.Cores = maxCore + 1
+	}
 	cores, err := opt.coresFor(len(inputs))
 	if err != nil {
 		return nil, err
 	}
 	sum := &Summary{
-		Out:      out,
-		Workload: opt.Workload,
-		Cores:    cores,
-		Inputs:   make([]InputSummary, len(inputs)),
+		Out:       out,
+		Workload:  opt.Workload,
+		Cores:     cores,
+		AutoCores: autoCores,
+		Inputs:    make([]InputSummary, len(inputs)),
 	}
 	if sum.Workload == "" {
 		sum.Workload = workloadName(inputs[0])
@@ -162,11 +192,7 @@ func Convert(inputs []string, out string, opt Options) (*Summary, error) {
 		sum.Inputs[i].Format = f.Name
 	}
 
-	var table *PageTable
-	if opt.Classify != ClassifyOff {
-		table = NewPageTable(opt.PageBytes, opt.MaxPages)
-	}
-	if opt.Classify == ClassifyTwoPass {
+	if opt.Classify == ClassifyTwoPass && !tableSettled {
 		// Pass 1: settle every page's final class; nothing is written.
 		observe := func(r trace.Ref) error { table.Observe(r); return nil }
 		if err := runPass(inputs, opt, cores, observe, nil); err != nil {
@@ -232,6 +258,41 @@ func Convert(inputs []string, out string, opt Options) (*Summary, error) {
 		sum.Bytes = st.Size()
 	}
 	return sum, nil
+}
+
+// scanKeepInputs is keep mode's pass 0: decode every input in argument
+// order, tracking the highest core id (to auto-size the converted core
+// count) and, when table is non-nil, settling the two-pass classifier
+// along the way.
+func scanKeepInputs(inputs []string, opt Options, table *PageTable) (maxCore int, err error) {
+	maxCore = -1
+	for _, in := range inputs {
+		dec, closer, err := Open(in, opt.Format)
+		if err != nil {
+			return 0, err
+		}
+		for {
+			r, ok := dec.Next()
+			if !ok {
+				break
+			}
+			if r.Core > maxCore {
+				maxCore = r.Core
+			}
+			if table != nil {
+				table.Observe(r)
+			}
+		}
+		err = dec.Err()
+		closer.Close()
+		if err != nil {
+			return 0, err
+		}
+	}
+	if maxCore < 0 {
+		return 0, fmt.Errorf("ingest: inputs hold no references to size cores from")
+	}
+	return maxCore, nil
 }
 
 // workloadName derives a corpus name from an input path: the base name
@@ -301,7 +362,9 @@ func interleaveFiles(pre []*prefetcher, opt Options, cores int, emit func(trace.
 			}
 			r.Core = i % cores
 			r.Thread = r.Core
-			r.Busy = opt.Busy
+			if !p.derivesBusy {
+				r.Busy = opt.Busy
+			}
 			count(i)
 			if err := emit(r); err != nil {
 				return err
@@ -332,7 +395,9 @@ func interleaveSeq(pre []*prefetcher, inputs []string, opt Options, cores int, e
 			} else if r.Core >= cores {
 				return fmt.Errorf("ingest: %s: ref core %d outside the configured %d cores", inputs[i], r.Core, cores)
 			}
-			r.Busy = opt.Busy
+			if !p.derivesBusy {
+				r.Busy = opt.Busy
+			}
 			n++
 			count(i)
 			if err := emit(r); err != nil {
@@ -360,6 +425,11 @@ type prefetcher struct {
 	stop chan struct{}
 	once sync.Once
 
+	// derivesBusy: the input's decoder supplies per-ref Busy
+	// (BusySource), so the interleaver keeps it instead of charging
+	// the flat Options.Busy budget.
+	derivesBusy bool
+
 	cur  []trace.Ref
 	pos  int
 	done bool
@@ -373,6 +443,9 @@ func startInput(path, format string) (*prefetcher, error) {
 		return nil, err
 	}
 	p := &prefetcher{ch: make(chan prefetchResult, 2), stop: make(chan struct{})}
+	if bs, ok := dec.(BusySource); ok && bs.DerivesBusy() {
+		p.derivesBusy = true
+	}
 	go func() {
 		defer closer.Close()
 		buf := make([]trace.Ref, 0, prefetchBatch)

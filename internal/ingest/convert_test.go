@@ -9,6 +9,7 @@ import (
 	"rnuca"
 	"rnuca/internal/cache"
 	"rnuca/internal/ingest"
+	"rnuca/internal/trace"
 	"rnuca/internal/tracefile"
 )
 
@@ -128,6 +129,95 @@ func TestConvertKeepPreservesCores(t *testing.T) {
 	}
 }
 
+// Keep mode without an explicit core count auto-sizes from a pass-0
+// scan of the inputs' core ids, and the auto-sized conversion is
+// byte-identical to the equivalent explicit one.
+func TestConvertKeepAutoCores(t *testing.T) {
+	dir := t.TempDir()
+	auto := filepath.Join(dir, "auto.rnt")
+	sum, err := ingest.Convert([]string{fixture("tiny.csv")}, auto, ingest.Options{
+		Interleave: ingest.InterleaveKeep,
+		Classify:   ingest.ClassifyTwoPass,
+	})
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	// tiny.csv's highest core id is 3.
+	if sum.Cores != 4 || !sum.AutoCores {
+		t.Fatalf("auto-sized cores %d (auto %v), want 4 (true)", sum.Cores, sum.AutoCores)
+	}
+	explicit := filepath.Join(dir, "explicit.rnt")
+	esum, err := ingest.Convert([]string{fixture("tiny.csv")}, explicit, ingest.Options{
+		Interleave: ingest.InterleaveKeep,
+		Cores:      4,
+		Classify:   ingest.ClassifyTwoPass,
+	})
+	if err != nil {
+		t.Fatalf("convert explicit: %v", err)
+	}
+	if esum.AutoCores {
+		t.Fatal("explicit -cores reported as auto-sized")
+	}
+	a, err := os.ReadFile(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("auto-sized conversion differs from the explicit one")
+	}
+	// An explicit count below the observed ids still rejects, as before.
+	if _, err := ingest.Convert([]string{fixture("tiny.csv")}, filepath.Join(dir, "low.rnt"), ingest.Options{
+		Interleave: ingest.InterleaveKeep,
+		Cores:      2,
+	}); err == nil {
+		t.Fatal("under-sized explicit core count accepted")
+	}
+}
+
+// ChampSim inputs carry decoder-derived Busy (instruction-count gaps);
+// the flat -busy budget applies only to formats without one, even when
+// both feed one conversion.
+func TestConvertKeepsDerivedBusy(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mix.rnt")
+	if _, err := ingest.Convert([]string{fixture("tiny.champ"), fixture("tiny.csv")}, out, ingest.Options{
+		Interleave: ingest.InterleaveStride,
+		Cores:      2,
+		Stride:     4,
+		Busy:       9,
+	}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	_, refs, err := tracefile.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The champ input comes first (sequential interleave): its ifetches
+	// carry the derived Busy 1 and its operands 0; the csv tail gets
+	// the flat budget.
+	champRefs, csvRefs := refs[:480], refs[480:]
+	for i, r := range champRefs {
+		want := 0
+		if r.Kind == trace.IFetch {
+			want = 1
+		}
+		if r.Busy != want {
+			t.Fatalf("champ ref %d busy %d, want %d: %+v", i, r.Busy, want, r)
+		}
+	}
+	if len(csvRefs) != 11 {
+		t.Fatalf("csv tail %d refs", len(csvRefs))
+	}
+	for i, r := range csvRefs {
+		if r.Busy != 9 {
+			t.Fatalf("csv ref %d busy %d, want the flat 9", i, r.Busy)
+		}
+	}
+}
+
 // Two-pass classification settles one class per page across the whole
 // corpus; streaming classification may split a page's early refs.
 func TestConvertTwoPassSettlesPages(t *testing.T) {
@@ -230,10 +320,16 @@ func TestConvertErrors(t *testing.T) {
 	if _, err := ingest.Convert(nil, out, ingest.Options{}); err == nil {
 		t.Fatal("empty input list accepted")
 	}
-	if _, err := ingest.Convert([]string{fixture("tiny.csv")}, out, ingest.Options{
+	// Keep mode without -cores auto-sizes from a pass-0 scan — but a
+	// ref-less input leaves nothing to size from.
+	emptyKeep := filepath.Join(dir, "empty-keep.csv")
+	if err := os.WriteFile(emptyKeep, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ingest.Convert([]string{emptyKeep}, out, ingest.Options{
 		Interleave: ingest.InterleaveKeep,
-	}); err == nil || !strings.Contains(err.Error(), "core count") {
-		t.Fatalf("keep mode without cores: %v", err)
+	}); err == nil || !strings.Contains(err.Error(), "size cores") {
+		t.Fatalf("keep mode over empty input: %v", err)
 	}
 	if _, err := ingest.Convert([]string{fixture("tiny.din")}, out, ingest.Options{
 		Interleave: ingest.InterleaveFiles,

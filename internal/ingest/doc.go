@@ -40,12 +40,18 @@
 // ChampSim-style ("champsim", extensions .champsim/.champ/.ctrace) is a
 // textual rendering of ChampSim's per-instruction records:
 //
-//	ip [l:addr]... [s:addr]...
+//	[n:count] ip [l:addr]... [s:addr]...
 //
 // Each line is one instruction: the instruction pointer becomes an
 // IFetch ref, then each memory operand ("l:"/"r:" source reads,
 // "s:"/"w:" destination writes) becomes a Load or Store. Addresses are
-// hex with an optional 0x prefix.
+// hex with an optional 0x prefix. The decoder derives per-ref Busy
+// from instruction-count gaps between lines — 1 per line for a dense
+// trace, or the actual gap when the optional leading "n:count" field
+// (cumulative retired-instruction number, decimal, strictly
+// increasing) marks a decimated trace — so converted CPI stacks
+// charge Busy for the work the trace really carried instead of the
+// flat Options.Busy budget the count-less formats get.
 //
 // CSV ("csv", extension .csv) is the generic fallback:
 //
@@ -55,7 +61,10 @@
 // trace.KindFromString accepts. The optional core/thread columns let a
 // multi-core capture carry its own placement (preserved by the
 // InterleaveKeep mode); an optional "addr,kind,..." header row is
-// skipped.
+// skipped. Keep-mode conversions without an explicit Options.Cores
+// auto-size the converted core count from a pass-0 scan of the
+// inputs' core ids (highest id plus one); the scan doubles as the
+// two-pass classifier's settling pass when both are enabled.
 //
 // # Page-grain class inference
 //

@@ -31,6 +31,15 @@ type Decoder interface {
 	Err() error
 }
 
+// BusySource is optionally implemented by decoders that derive per-ref
+// Busy from the input itself (e.g. the champsim decoder, whose lines
+// carry instruction counts implicitly). When DerivesBusy reports true,
+// the convert pipeline keeps the decoder's Busy values instead of
+// charging the flat Options.Busy budget.
+type BusySource interface {
+	DerivesBusy() bool
+}
+
 // Format describes one registered foreign trace format.
 type Format struct {
 	// Name is the registry key ("din", "champsim", "csv").

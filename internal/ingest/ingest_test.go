@@ -82,17 +82,66 @@ func TestChampSimGolden(t *testing.T) {
 	if k := kindCounts(refs); k != [3]int{240, 180, 60} {
 		t.Fatalf("kind mix %v, want [240 180 60]", k)
 	}
+	// Each instruction line's IFetch carries Busy 1 (one retired
+	// instruction per line at IPC 1); operand refs belong to the same
+	// instruction and carry 0.
 	want := []trace.Ref{
-		{Kind: trace.IFetch, Addr: 0x401000},
+		{Kind: trace.IFetch, Addr: 0x401000, Busy: 1},
 		{Kind: trace.Load, Addr: 0x30000940},
-		{Kind: trace.IFetch, Addr: 0x401004},
+		{Kind: trace.IFetch, Addr: 0x401004, Busy: 1},
 		{Kind: trace.Load, Addr: 0x3000b400},
 		{Kind: trace.Store, Addr: 0x400077c0},
-		{Kind: trace.IFetch, Addr: 0x401008},
+		{Kind: trace.IFetch, Addr: 0x401008, Busy: 1},
 	}
 	for i, w := range want {
 		if refs[i] != w {
 			t.Fatalf("ref %d = %+v, want %+v", i, refs[i], w)
+		}
+	}
+}
+
+// ChampSim Busy derivation: dense lines charge 1 instruction each, and
+// an explicit n:COUNT field (cumulative retired-instruction number)
+// charges the gap since the previous line — the decimated-trace form.
+func TestChampSimDerivedBusy(t *testing.T) {
+	f, _ := ByName("champsim")
+	d := f.New(strings.NewReader(
+		"n:100 401000 l:30000940\n"+
+			"401004\n"+ // implicit: one instruction after 100
+			"n:205 401008 s:400077c0\n"+ // 104 skipped non-memory instructions
+			"401010\n"), "busy.champ")
+	refs := decodeAll(t, d)
+	want := []trace.Ref{
+		{Kind: trace.IFetch, Addr: 0x401000, Busy: 1}, // first line: no known predecessor
+		{Kind: trace.Load, Addr: 0x30000940},
+		{Kind: trace.IFetch, Addr: 0x401004, Busy: 1},
+		{Kind: trace.IFetch, Addr: 0x401008, Busy: 104}, // 205 - 101
+		{Kind: trace.Store, Addr: 0x400077c0},
+		{Kind: trace.IFetch, Addr: 0x401010, Busy: 1},
+	}
+	if len(refs) != len(want) {
+		t.Fatalf("decoded %d refs, want %d", len(refs), len(want))
+	}
+	for i, w := range want {
+		if refs[i] != w {
+			t.Fatalf("ref %d = %+v, want %+v", i, refs[i], w)
+		}
+	}
+
+	// Non-increasing counts are a damaged trace, reported in place.
+	d = f.New(strings.NewReader("n:50 401000\nn:50 401004\n"), "bad.champ")
+	decodeUntilError(d)
+	var perr *ParseError
+	if err := d.Err(); !errors.As(err, &perr) || perr.Line != 2 ||
+		!strings.Contains(perr.Msg, "not after") {
+		t.Fatalf("non-monotone count error: %v", d.Err())
+	}
+}
+
+func decodeUntilError(d Decoder) {
+	for {
+		if _, ok := d.Next(); !ok {
+			return
 		}
 	}
 }

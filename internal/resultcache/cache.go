@@ -1,0 +1,251 @@
+// Package resultcache memoizes simulation results behind a
+// singleflight-deduplicated LRU, so a serving layer (internal/serve) and
+// the figure harness (internal/experiments) can answer repeated requests
+// for the same (design, reference source, options) cell without
+// re-simulating it — and N concurrent requests for a cell that is still
+// computing share one computation instead of racing N.
+//
+// Keys are canonical strings built by Key: the design (plus methodology
+// suffix when it changes results), the reference source (a corpus
+// content digest or a canonicalized workload spec), and the
+// result-relevant subset of rnuca.Options. Options that provably do not
+// change results (decode sharding, progress callbacks) are excluded, so
+// a sharded replay hits the entry a sequential one populated. See key.go
+// for the exact canonicalization rules.
+//
+// Values are opaque (any): the cache stores rnuca.Result for simulation
+// cells and whole rendered table sets for figure builds. Errors are
+// never cached — a failed computation leaves the key empty so the next
+// caller retries.
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultEntries is the default LRU capacity.
+const DefaultEntries = 512
+
+// Outcome reports how Do satisfied a request.
+type Outcome int
+
+// Do outcomes.
+const (
+	// Miss: this call computed the value and populated the cache.
+	Miss Outcome = iota
+	// Hit: the value was already cached.
+	Hit
+	// Shared: an identical computation was in flight; this call waited
+	// for it instead of starting its own.
+	Shared
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// Metrics is a point-in-time snapshot of the cache counters.
+type Metrics struct {
+	// Hits/Misses/Shared count Do outcomes; Errors counts computations
+	// that returned an error (never cached); Evictions counts LRU
+	// evictions; Entries is the current cached-entry count.
+	Hits, Misses, Shared, Errors, Evictions uint64
+	Entries                                 int
+}
+
+// flight is one in-progress computation. Waiters (the starter included)
+// are refcounted: when the last interested caller cancels, the flight's
+// context is canceled so a cooperative computation can stop early. A
+// flight that finishes after losing all its waiters still populates the
+// cache on success (the work is done; keep it).
+type flight struct {
+	done     chan struct{} // closed when the computation returns
+	val      any
+	err      error
+	waiters  int
+	canceled bool
+	cancel   context.CancelFunc
+}
+
+// Cache is a concurrency-safe memoized result store: an entry-capped
+// LRU fronted by singleflight deduplication.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *entry
+	entries map[string]*list.Element
+	flights map[string]*flight
+
+	hits, misses, shared, errs, evictions atomic.Uint64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// New builds a cache holding up to capEntries values (0 means
+// DefaultEntries).
+func New(capEntries int) *Cache {
+	if capEntries <= 0 {
+		capEntries = DefaultEntries
+	}
+	return &Cache{
+		cap:     capEntries,
+		ll:      list.New(),
+		entries: map[string]*list.Element{},
+		flights: map[string]*flight{},
+	}
+}
+
+// Get returns the cached value for key without computing anything.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// put stores a value under key, evicting from the LRU tail as needed.
+// Callers hold c.mu.
+func (c *Cache) put(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Do returns the value for key, computing it with fn on a miss. An
+// identical in-flight computation is joined rather than duplicated
+// (Shared). fn runs on its own goroutine with a context that is
+// canceled only when every caller interested in the key has canceled —
+// one impatient caller cannot kill a computation others still want; a
+// caller whose ctx ends while waiting returns ctx.Err() immediately.
+// Errors are returned to every waiter and never cached.
+func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, Outcome, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return v, Hit, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			if f.canceled {
+				// The flight lost its last waiter and is winding down;
+				// wait for it to clear, then retry fresh.
+				c.mu.Unlock()
+				select {
+				case <-f.done:
+					continue
+				case <-ctx.Done():
+					return nil, Shared, ctx.Err()
+				}
+			}
+			f.waiters++
+			c.mu.Unlock()
+			c.shared.Add(1)
+			return c.wait(ctx, key, f, Shared)
+		}
+		// Start the flight. Its context is independent of any single
+		// caller's: cancellation is driven by the waiter refcount.
+		fctx, cancel := context.WithCancel(context.Background())
+		f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		c.flights[key] = f
+		c.mu.Unlock()
+		c.misses.Add(1)
+		go func() {
+			v, err := runProtected(fctx, fn)
+			cancel()
+			c.mu.Lock()
+			f.val, f.err = v, err
+			if err == nil {
+				c.put(key, v)
+			} else {
+				c.errs.Add(1)
+			}
+			delete(c.flights, key)
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		return c.wait(ctx, key, f, Miss)
+	}
+}
+
+// runProtected invokes fn, converting a panic into an error: the
+// computation runs on a cache-owned goroutine, where an escaped panic
+// would kill the whole process rather than one request (the simulation
+// and campaign layers report some failures by panicking).
+func runProtected(ctx context.Context, fn func(ctx context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			v, err = nil, fmt.Errorf("resultcache: computation panicked: %v", p)
+		}
+	}()
+	return fn(ctx)
+}
+
+// wait blocks until the flight resolves or ctx ends, maintaining the
+// waiter refcount.
+func (c *Cache) wait(ctx context.Context, key string, f *flight, o Outcome) (any, Outcome, error) {
+	select {
+	case <-f.done:
+		return f.val, o, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.canceled = true
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, o, ctx.Err()
+	}
+}
+
+// Metrics returns a snapshot of the counters.
+func (c *Cache) Metrics() Metrics {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return Metrics{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Errors:    c.errs.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// Len returns the current cached-entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,291 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnuca"
+)
+
+// N concurrent Do calls for one key run the computation exactly once,
+// and every caller sees the same value.
+func TestDoSingleflight(t *testing.T) {
+	c := New(8)
+	var computed atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		computed.Add(1)
+		close(started)
+		<-release
+		return 42, nil
+	}
+	join := func(ctx context.Context) (any, error) {
+		t.Error("second computation started")
+		return nil, errors.New("dup")
+	}
+
+	var wg sync.WaitGroup
+	results := make([]any, 8)
+	outcomes := make([]Outcome, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], outcomes[0], _ = c.Do(context.Background(), "k", fn)
+	}()
+	<-started
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], outcomes[i], _ = c.Do(context.Background(), "k", join)
+		}(i)
+	}
+	// Let the joiners reach the flight before releasing it.
+	for c.Metrics().Shared < 7 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	m := c.Metrics()
+	if m.Misses != 1 || m.Shared != 7 {
+		t.Fatalf("metrics %+v, want 1 miss + 7 shared", m)
+	}
+	if v, _, err := c.Do(context.Background(), "k", join); err != nil || v != 42 {
+		t.Fatalf("post-flight Do = %v, %v", v, err)
+	}
+	if m := c.Metrics(); m.Hits != 1 {
+		t.Fatalf("metrics %+v, want 1 hit", m)
+	}
+}
+
+// Errors are surfaced to every waiter and never cached.
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(8)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func(ctx context.Context) (any, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, _, err := c.Do(context.Background(), "k", func(ctx context.Context) (any, error) {
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+	if m := c.Metrics(); m.Misses != 2 || m.Errors != 1 {
+		t.Fatalf("metrics %+v, want 2 misses, 1 error", m)
+	}
+}
+
+// A waiter whose context ends returns immediately; the flight keeps
+// computing for the remaining waiters, and only loses its context when
+// the last one leaves.
+func TestDoCancelWaiterAndFlight(t *testing.T) {
+	c := New(8)
+	flightCtx := make(chan context.Context, 1)
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", func(ctx context.Context) (any, error) {
+		flightCtx <- ctx
+		<-release
+		return 1, nil
+	})
+	fctx := <-flightCtx
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", nil)
+		done <- err
+	}()
+	for c.Metrics().Shared < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v", err)
+	}
+	// The starter still waits, so the flight context must be live.
+	if fctx.Err() != nil {
+		t.Fatal("flight canceled while a waiter remained")
+	}
+	close(release)
+}
+
+// When every waiter cancels, the flight's context is canceled so a
+// cooperative computation can stop; a new Do after the flight clears
+// recomputes.
+func TestDoCancelLastWaiterCancelsFlight(t *testing.T) {
+	c := New(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	computes := make(chan int, 2)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func(fctx context.Context) (any, error) {
+			computes <- 1
+			<-fctx.Done() // cooperative: stop when no one wants the result
+			return nil, fctx.Err()
+		})
+		done <- err
+	}()
+	<-computes
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("starter err = %v", err)
+	}
+	v, _, err := c.Do(context.Background(), "k", func(fctx context.Context) (any, error) {
+		computes <- 2
+		return "second", nil
+	})
+	if err != nil || v != "second" {
+		t.Fatalf("recompute = %v, %v", v, err)
+	}
+}
+
+// A panicking computation becomes an error for every waiter, not a
+// dead process; nothing is cached, so a later Do retries.
+func TestDoRecoversPanics(t *testing.T) {
+	c := New(8)
+	_, _, err := c.Do(context.Background(), "k", func(ctx context.Context) (any, error) {
+		panic("sim: exploded")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic surfaced as %v", err)
+	}
+	v, _, err := c.Do(context.Background(), "k", func(ctx context.Context) (any, error) {
+		return "recovered", nil
+	})
+	if err != nil || v != "recovered" {
+		t.Fatalf("retry after panic = %v, %v", v, err)
+	}
+	if m := c.Metrics(); m.Errors != 1 || m.Entries != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// The LRU evicts oldest-first at capacity.
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	put := func(k string) {
+		c.Do(context.Background(), k, func(ctx context.Context) (any, error) { return k, nil })
+	}
+	put("a")
+	put("b")
+	c.Get("a") // refresh a; b becomes the eviction candidate
+	put("c")
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite refresh")
+	}
+	if m := c.Metrics(); m.Evictions != 1 || m.Entries != 2 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// Keys canonicalize: result-neutral options (Shards, Progress) are
+// excluded, result-relevant ones are not, and a Source closure defeats
+// caching.
+func TestKeyCanonicalization(t *testing.T) {
+	base := rnuca.Options{Warm: 100, Measure: 200}
+	k1, ok := Key("R", CorpusSource("abc"), base)
+	if !ok {
+		t.Fatal("base options not cacheable")
+	}
+	sharded := base
+	sharded.Shards = 8
+	sharded.Progress = func(done, total int) bool { return true }
+	k2, ok := Key("R", CorpusSource("abc"), sharded)
+	if !ok || k2 != k1 {
+		t.Fatalf("sharded key %q != sequential %q", k2, k1)
+	}
+	batch0, _ := Key("R", CorpusSource("abc"), base)
+	b := base
+	b.Batches = 1
+	batch1, _ := Key("R", CorpusSource("abc"), b)
+	if batch0 != batch1 {
+		t.Fatal("Batches 0 and 1 should share a key")
+	}
+	for i, vary := range []rnuca.Options{
+		{Warm: 101, Measure: 200},
+		{Warm: 100, Measure: 201},
+		{Warm: 100, Measure: 200, Batches: 3},
+		{Warm: 100, Measure: 200, InstrClusterSize: 8},
+		{Warm: 100, Measure: 200, PrivateClusterSize: 4},
+		{Warm: 100, Measure: 200, WindowStart: 5, WindowRefs: 50},
+	} {
+		kv, ok := Key("R", CorpusSource("abc"), vary)
+		if !ok || kv == k1 {
+			t.Fatalf("variant %d did not change the key", i)
+		}
+	}
+	if kd, _ := Key("P", CorpusSource("abc"), base); kd == k1 {
+		t.Fatal("design does not change the key")
+	}
+	if ks, _ := Key("R", CorpusSource("other"), base); ks == k1 {
+		t.Fatal("source does not change the key")
+	}
+	withSrc := base
+	withSrc.Source = func(batch int) rnuca.RefSource { return nil }
+	if _, ok := Key("R", CorpusSource("abc"), withSrc); ok {
+		t.Fatal("Source closure must defeat caching")
+	}
+}
+
+// Workload sources distinguish any spec difference.
+func TestWorkloadSource(t *testing.T) {
+	a, ok := WorkloadSource(rnuca.OLTPDB2())
+	if !ok {
+		t.Fatal("spec not canonicalizable")
+	}
+	reseeded := rnuca.OLTPDB2()
+	reseeded.Seed++
+	b, _ := WorkloadSource(reseeded)
+	if a == b {
+		t.Fatal("seed does not change the source")
+	}
+	if c, _ := WorkloadSource(rnuca.Apache()); c == a {
+		t.Fatal("workload does not change the source")
+	}
+}
+
+// Concurrent mixed traffic over many keys stays consistent (run under
+// -race in CI).
+func TestConcurrentStress(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%24)
+				v, _, err := c.Do(context.Background(), key, func(ctx context.Context) (any, error) {
+					return key, nil
+				})
+				if err != nil || v != key {
+					t.Errorf("Do(%s) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+// Package serve is the rnuca simulation service: a long-running HTTP
+// JSON API that owns a content-addressed corpus store
+// (internal/corpus), executes simulation jobs on a bounded worker
+// pool, and memoizes results behind a singleflight LRU
+// (internal/resultcache) — the layer that turns the record/replay/
+// ingest pipeline of the earlier subsystems into a system that takes
+// traffic. cmd/rnuca-serve is the binary.
+//
+// # Job API
+//
+// POST /v1/jobs submits a JobSpec and returns 202 with the job's
+// status; GET /v1/jobs/{id} polls it; DELETE cancels. Kinds:
+//
+//	run      simulate a catalog workload on one design
+//	         {"kind":"run","workload":"OLTP-DB2","design":"R",
+//	          "options":{"warm":200000,"measure":400000}}
+//	replay   replay a stored corpus on one design (design defaults to
+//	         the corpus's recording design)
+//	         {"kind":"replay","corpus":"<digest|name>","design":"R"}
+//	compare  the Figure 12 sweep over several designs, from a corpus
+//	         or a catalog workload
+//	         {"kind":"compare","corpus":"oltp","designs":["P","R"]}
+//	convert  ingest foreign traces (Dinero/ChampSim/CSV) into the
+//	         corpus store; inputs must live under the configured
+//	         ingest directory (-ingest) — the API is unauthenticated,
+//	         so jobs may not point the server at arbitrary paths
+//	         {"kind":"convert","convert":{"inputs":["/ingest/a.din"]}}
+//	figure   the ingested-corpus table suite (Figure 2–5 analyses +
+//	         Figure 12 comparison) over stored corpora
+//	         {"kind":"figure","corpora":["oltp"],"options":
+//	          {"trace_refs":150000}}
+//
+// Specs are validated at submission: unknown workloads, designs, or
+// corpus references are rejected with 400 before anything queues.
+//
+// # Progress and cancellation
+//
+// Every job carries a context.Context. Queued jobs cancel instantly;
+// running run/replay/compare jobs stop at the engine's next progress
+// observation (a few thousand simulated references — see
+// sim.Engine.Progress); convert and figure jobs check their context
+// between pipeline stages. GET /v1/jobs/{id}/events (or Accept:
+// text/event-stream on the job URL) streams SSE "status" events — with
+// live done_refs/total_refs from the engine's progress hook — and one
+// final "done" event carrying the terminal status and result.
+//
+// # Result cache
+//
+// Every simulation cell is keyed by (design, corpus content digest or
+// canonical workload spec, canonicalized options) — see
+// internal/resultcache for the exact rules (decode sharding and
+// progress observation are excluded; they cannot change results).
+// Identical in-flight requests share one computation (singleflight);
+// finished cells serve from an LRU. Figure builds additionally memoize
+// the whole rendered table set under the digest list + scale, and the
+// campaign inside shares the same cell cache, so a repeated figure
+// build over an unchanged corpus performs zero simulation. A canceled
+// computation is never cached.
+//
+// # Corpus endpoints
+//
+// GET /v1/corpora lists manifests; POST uploads a trace (raw bytes,
+// ?name= binds a reference); GET /v1/corpora/{ref} returns a manifest
+// (?verify=1 re-hashes and re-decodes the object first); DELETE drops
+// a name; POST /v1/corpora/gc removes unreferenced objects.
+//
+// # Metrics and drain
+//
+// GET /metrics exposes job, worker, cache, and store counters in the
+// Prometheus text format. On SIGTERM, cmd/rnuca-serve stops accepting
+// jobs (503), finishes what is queued and running (Server.Drain), then
+// exits; a second signal force-cancels via Server.Close.
+package serve

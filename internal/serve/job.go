@@ -1,0 +1,464 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnuca"
+	"rnuca/internal/corpus"
+	"rnuca/internal/ingest"
+	"rnuca/internal/report"
+	"rnuca/internal/workload"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job states. Terminal states are done, failed, and canceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobSpec is the request body of POST /v1/jobs. Kind selects the work;
+// the other fields apply per kind (see doc.go for the full schema).
+type JobSpec struct {
+	// Kind is one of "run", "replay", "compare", "convert", "figure".
+	Kind string `json:"kind"`
+	// Design is the design a run/replay job simulates ("P", "A", "S",
+	// "R", "I"); replay defaults to the corpus's recording design, run
+	// to "R".
+	Design string `json:"design,omitempty"`
+	// Designs are the designs a compare job sweeps (default: all five,
+	// in the paper's order).
+	Designs []string `json:"designs,omitempty"`
+	// Workload names a catalog workload (run, and compare without a
+	// corpus).
+	Workload string `json:"workload,omitempty"`
+	// Corpus references a stored corpus — digest, unique digest prefix,
+	// or name (replay, and compare over a trace).
+	Corpus string `json:"corpus,omitempty"`
+	// Corpora are the stored corpora a figure job builds tables over.
+	Corpora []string `json:"corpora,omitempty"`
+	// Options tunes the simulation (all kinds but convert).
+	Options JobOptions `json:"options"`
+	// Convert configures a convert job.
+	Convert *ConvertSpec `json:"convert,omitempty"`
+}
+
+// JobOptions is the JSON view of the result-relevant rnuca.Options,
+// plus the figure-scale fields.
+type JobOptions struct {
+	Warm               int    `json:"warm,omitempty"`
+	Measure            int    `json:"measure,omitempty"`
+	Batches            int    `json:"batches,omitempty"`
+	InstrClusterSize   int    `json:"instr_cluster_size,omitempty"`
+	PrivateClusterSize int    `json:"private_cluster_size,omitempty"`
+	Shards             int    `json:"shards,omitempty"`
+	WindowStart        uint64 `json:"window_start,omitempty"`
+	WindowRefs         uint64 `json:"window_refs,omitempty"`
+	// TraceRefs sizes a figure job's §3 characterization analyses;
+	// ASRBest selects the paper's best-of-six ASR methodology there.
+	TraceRefs int  `json:"trace_refs,omitempty"`
+	ASRBest   bool `json:"asr_best,omitempty"`
+}
+
+// validate range-checks the options: the library treats zero as "use
+// the default" but panics on (or silently misbehaves with) negative
+// values, and an unauthenticated API must reject them with a 400, not
+// a crashed worker.
+func (o JobOptions) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"warm", o.Warm}, {"measure", o.Measure}, {"batches", o.Batches},
+		{"instr_cluster_size", o.InstrClusterSize},
+		{"private_cluster_size", o.PrivateClusterSize},
+		{"shards", o.Shards}, {"trace_refs", o.TraceRefs},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("options.%s must not be negative (got %d)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// options converts to library options.
+func (o JobOptions) options() rnuca.Options {
+	return rnuca.Options{
+		Warm:               o.Warm,
+		Measure:            o.Measure,
+		Batches:            o.Batches,
+		InstrClusterSize:   o.InstrClusterSize,
+		PrivateClusterSize: o.PrivateClusterSize,
+		Shards:             o.Shards,
+		WindowStart:        o.WindowStart,
+		WindowRefs:         o.WindowRefs,
+	}
+}
+
+// ConvertSpec configures a convert job: ingest foreign trace files
+// (which must live under the server's configured ingest directory)
+// into the corpus store (see internal/ingest for the field semantics;
+// zero values take the converter's defaults).
+type ConvertSpec struct {
+	Inputs     []string `json:"inputs"`
+	Format     string   `json:"format,omitempty"`
+	Cores      int      `json:"cores,omitempty"`
+	Interleave string   `json:"interleave,omitempty"`
+	Stride     int      `json:"stride,omitempty"`
+	Classify   string   `json:"classify,omitempty"`
+	MaxPages   int      `json:"max_pages,omitempty"`
+	PageBytes  int      `json:"page_bytes,omitempty"`
+	Busy       int      `json:"busy,omitempty"`
+	OffChipMLP float64  `json:"offchip_mlp,omitempty"`
+	// Workload names the converted corpus; Name is the store reference
+	// to bind (both default from the input).
+	Workload string `json:"workload,omitempty"`
+	Name     string `json:"name,omitempty"`
+}
+
+// ingestOptions converts to converter options.
+func (c *ConvertSpec) ingestOptions() (ingest.Options, error) {
+	opt := ingest.Options{
+		Format:     c.Format,
+		Cores:      c.Cores,
+		Stride:     c.Stride,
+		MaxPages:   c.MaxPages,
+		PageBytes:  c.PageBytes,
+		Busy:       c.Busy,
+		OffChipMLP: c.OffChipMLP,
+		Workload:   c.Workload,
+	}
+	var err error
+	if c.Interleave != "" {
+		if opt.Interleave, err = ingest.ParseInterleaveMode(c.Interleave); err != nil {
+			return opt, err
+		}
+	}
+	if c.Classify != "" {
+		if opt.Classify, err = ingest.ParseClassifyMode(c.Classify); err != nil {
+			return opt, err
+		}
+	}
+	return opt, nil
+}
+
+// JobResult is a finished job's payload; which fields are set depends
+// on the kind.
+type JobResult struct {
+	// Result is a run or replay job's measured performance.
+	Result *rnuca.Result `json:"result,omitempty"`
+	// Results maps design IDs to results for compare jobs.
+	Results map[string]rnuca.Result `json:"results,omitempty"`
+	// Corpus is the store entry a convert job produced.
+	Corpus *corpus.Entry `json:"corpus,omitempty"`
+	// Tables are a figure job's rendered table set.
+	Tables []*report.Table `json:"tables,omitempty"`
+	// Cache reports how each simulation cell was satisfied
+	// ("hit", "miss", "shared"), keyed by design (or "figure" for the
+	// whole-build entry).
+	Cache map[string]string `json:"cache,omitempty"`
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// DoneRefs/TotalRefs report per-engine simulation progress when the
+	// job is running (approximate under Batches > 1, where concurrent
+	// engines report independently and the largest count wins). A job
+	// that joined another job's identical in-flight computation
+	// (cache outcome "shared") reports no per-ref progress — the
+	// engine belongs to the flight's starter.
+	DoneRefs  int64      `json:"done_refs,omitempty"`
+	TotalRefs int64      `json:"total_refs,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	Spec      JobSpec    `json:"spec"`
+}
+
+// job is the server-side job record.
+type job struct {
+	id      string
+	spec    JobSpec
+	created time.Time
+
+	// Resolved at submit so a bad reference fails fast and the
+	// executing worker never re-resolves a name that may have moved.
+	design    rnuca.DesignID
+	designs   []rnuca.DesignID
+	workload  rnuca.Workload
+	tracePath string
+	digest    string
+	corpora   []resolvedCorpus
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done, total atomic.Int64
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	err      string
+	result   *JobResult
+}
+
+type resolvedCorpus struct {
+	ref    string
+	digest string
+}
+
+// newJobID returns a fresh random job ID.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: job id entropy: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// status snapshots the job for the API.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Kind:      j.spec.Kind,
+		State:     j.state,
+		Created:   j.created,
+		DoneRefs:  j.done.Load(),
+		TotalRefs: j.total.Load(),
+		Error:     j.err,
+		Result:    j.result,
+		Spec:      j.spec,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// setRunning transitions queued -> running.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish records a terminal state.
+func (j *job) finish(state JobState, res *JobResult, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.mu.Unlock()
+}
+
+// progress returns an rnuca.Options.Progress callback that publishes
+// per-engine counts on the job and stops the engine once ctx ends. It
+// is monotone across the concurrent engines of a batched run: the
+// largest reported count wins.
+func (j *job) progress(ctx context.Context) func(done, total int) bool {
+	return func(done, total int) bool {
+		j.total.Store(int64(total))
+		for {
+			cur := j.done.Load()
+			if int64(done) <= cur || j.done.CompareAndSwap(cur, int64(done)) {
+				break
+			}
+		}
+		return ctx.Err() == nil
+	}
+}
+
+// validate resolves and checks a spec against the server's catalog and
+// corpus store, filling the job's resolved fields.
+func (s *Server) validate(j *job) error {
+	spec := &j.spec
+	if err := spec.Options.validate(); err != nil {
+		return err
+	}
+	switch spec.Kind {
+	case "run":
+		if spec.Workload == "" {
+			return fmt.Errorf("run job needs a workload")
+		}
+		w, ok := workload.ByName(spec.Workload)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", spec.Workload)
+		}
+		j.workload = w
+		id, err := parseDesign(spec.Design, "R")
+		if err != nil {
+			return err
+		}
+		j.design = id
+	case "replay":
+		ent, err := s.resolveCorpus(spec.Corpus)
+		if err != nil {
+			return err
+		}
+		j.tracePath = s.cfg.Store.Path(ent.Digest)
+		j.digest = ent.Digest
+		id, err := parseDesign(spec.Design, ent.Design)
+		if err != nil {
+			return err
+		}
+		j.design = id
+	case "compare":
+		ids, err := parseDesigns(spec.Designs)
+		if err != nil {
+			return err
+		}
+		j.designs = ids
+		if spec.Corpus != "" {
+			ent, err := s.resolveCorpus(spec.Corpus)
+			if err != nil {
+				return err
+			}
+			j.tracePath = s.cfg.Store.Path(ent.Digest)
+			j.digest = ent.Digest
+			return nil
+		}
+		if spec.Workload == "" {
+			return fmt.Errorf("compare job needs a corpus or a workload")
+		}
+		w, ok := workload.ByName(spec.Workload)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", spec.Workload)
+		}
+		j.workload = w
+	case "convert":
+		if s.cfg.Store == nil {
+			return fmt.Errorf("convert jobs need a corpus store (-corpus)")
+		}
+		if s.cfg.IngestDir == "" {
+			return fmt.Errorf("convert jobs are disabled: no ingest directory configured (-ingest)")
+		}
+		if spec.Convert == nil || len(spec.Convert.Inputs) == 0 {
+			return fmt.Errorf("convert job needs convert.inputs")
+		}
+		for _, in := range spec.Convert.Inputs {
+			if err := underDir(s.cfg.IngestDir, in); err != nil {
+				return err
+			}
+		}
+		if _, err := spec.Convert.ingestOptions(); err != nil {
+			return err
+		}
+	case "figure":
+		if len(spec.Corpora) == 0 {
+			return fmt.Errorf("figure job needs corpora")
+		}
+		for _, ref := range spec.Corpora {
+			ent, err := s.resolveCorpus(ref)
+			if err != nil {
+				return err
+			}
+			j.corpora = append(j.corpora, resolvedCorpus{ref: ref, digest: ent.Digest})
+		}
+		ids, err := parseDesigns(spec.Designs)
+		if err != nil {
+			return err
+		}
+		j.designs = ids
+	default:
+		return fmt.Errorf("unknown job kind %q (run, replay, compare, convert, figure)", spec.Kind)
+	}
+	return nil
+}
+
+// underDir rejects a convert input that escapes the configured ingest
+// directory — the API is unauthenticated, so a job must never make
+// the server open an arbitrary path.
+func underDir(root, path string) error {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return fmt.Errorf("resolving ingest dir: %w", err)
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return fmt.Errorf("resolving input %q: %w", path, err)
+	}
+	rel, err := filepath.Rel(absRoot, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return fmt.Errorf("input %q is outside the ingest directory %s", path, root)
+	}
+	return nil
+}
+
+// resolveCorpus fetches a store entry by reference.
+func (s *Server) resolveCorpus(ref string) (corpus.Entry, error) {
+	if s.cfg.Store == nil {
+		return corpus.Entry{}, fmt.Errorf("no corpus store configured (-corpus)")
+	}
+	if ref == "" {
+		return corpus.Entry{}, fmt.Errorf("missing corpus reference")
+	}
+	return s.cfg.Store.Get(ref)
+}
+
+// parseDesign parses one design ID, applying a default for "".
+func parseDesign(s, def string) (rnuca.DesignID, error) {
+	if s == "" {
+		s = def
+	}
+	if s == "" {
+		s = "R"
+	}
+	id := rnuca.DesignID(s)
+	for _, d := range rnuca.AllDesigns() {
+		if id == d {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("unknown design %q (P, A, S, R, I)", s)
+}
+
+// parseDesigns parses a design list, defaulting to all five.
+func parseDesigns(ss []string) ([]rnuca.DesignID, error) {
+	if len(ss) == 0 {
+		return rnuca.AllDesigns(), nil
+	}
+	out := make([]rnuca.DesignID, 0, len(ss))
+	for _, s := range ss {
+		id, err := parseDesign(s, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}

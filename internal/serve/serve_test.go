@@ -1,0 +1,550 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rnuca"
+	"rnuca/internal/corpus"
+)
+
+// testTrace records one small OLTP-DB2 trace per test binary run and
+// shares it (recording costs a simulation; every test only reads it).
+var (
+	traceOnce sync.Once
+	tracePath string
+	traceErr  error
+)
+
+const (
+	recWarm    = 2000
+	recMeasure = 4000
+)
+
+func recordedTrace(t *testing.T) string {
+	t.Helper()
+	traceOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rnuca-serve-test-")
+		if err != nil {
+			traceErr = err
+			return
+		}
+		tracePath = filepath.Join(dir, "oltp.rnt")
+		_, traceErr = rnuca.Record(rnuca.OLTPDB2(), rnuca.DesignRNUCA,
+			rnuca.Options{Warm: recWarm, Measure: recMeasure}, tracePath)
+	})
+	if traceErr != nil {
+		t.Fatalf("recording shared trace: %v", traceErr)
+	}
+	return tracePath
+}
+
+// newTestServer builds a server over a fresh store holding the shared
+// trace, plus its httptest front end.
+func newTestServer(t *testing.T, workers int) (*Server, *httptest.Server, corpus.Entry) {
+	s, hs, ent, _ := newTestServerStore(t, workers)
+	return s, hs, ent
+}
+
+func newTestServerStore(t *testing.T, workers int) (*Server, *httptest.Server, corpus.Entry, *corpus.Store) {
+	t.Helper()
+	st, err := corpus.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, _, err := st.Add(recordedTrace(t), "oltp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Store: st, Workers: workers})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs, ent, st
+}
+
+// postJob submits a spec over HTTP and returns the accepted status.
+func postJob(t *testing.T, base string, spec JobSpec) JobStatus {
+	t.Helper()
+	b, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit: %s (%s)", resp.Status, e["error"])
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitJob polls a job to a terminal state.
+func waitJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
+
+// metric scrapes one value from /metrics.
+func metric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s = %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+// A replay job submitted over the API returns a Result identical to a
+// direct rnuca.Replay call — bit for bit, through the JSON round trip.
+func TestReplayJobMatchesDirectCall(t *testing.T) {
+	_, hs, ent, store := newTestServerStore(t, 2)
+
+	st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "R"})
+	fin := waitJob(t, hs.URL, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job %s: %s (%s)", st.ID, fin.State, fin.Error)
+	}
+	if fin.Result == nil || fin.Result.Result == nil {
+		t.Fatal("done job carries no result")
+	}
+
+	want, err := rnuca.Replay(store.Path(ent.Digest), rnuca.DesignRNUCA, rnuca.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server's result crossed JSON; round-trip the direct result the
+	// same way so both sides saw identical encoding (float64 JSON
+	// encoding round-trips exactly, so this is a bit-for-bit check).
+	b, _ := json.Marshal(want)
+	var wantRT rnuca.Result
+	if err := json.Unmarshal(b, &wantRT); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*fin.Result.Result, wantRT) {
+		t.Fatalf("served result differs from direct call:\n  served %+v\n  direct %+v", *fin.Result.Result, wantRT)
+	}
+	if fin.Result.Cache["R"] != "miss" {
+		t.Fatalf("first replay outcome %q, want miss", fin.Result.Cache["R"])
+	}
+
+	// A second identical job is a pure cache hit with the same payload.
+	st2 := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: ent.Digest, Design: "R"})
+	fin2 := waitJob(t, hs.URL, st2.ID)
+	if fin2.State != JobDone || fin2.Result.Cache["R"] != "hit" {
+		t.Fatalf("second replay: %s, cache %v", fin2.State, fin2.Result.Cache)
+	}
+	if !reflect.DeepEqual(fin2.Result.Result, fin.Result.Result) {
+		t.Fatal("cache hit returned a different result")
+	}
+}
+
+// N identical in-flight jobs run the simulation once: one cache miss,
+// the rest shared or hits, every result identical.
+func TestConcurrentIdenticalJobsSingleflight(t *testing.T) {
+	_, hs, _ := newTestServer(t, 4)
+
+	const n = 6
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "S"})
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+
+	var first *rnuca.Result
+	for _, id := range ids {
+		fin := waitJob(t, hs.URL, id)
+		if fin.State != JobDone {
+			t.Fatalf("job %s: %s (%s)", id, fin.State, fin.Error)
+		}
+		if first == nil {
+			first = fin.Result.Result
+		} else if !reflect.DeepEqual(fin.Result.Result, first) {
+			t.Fatalf("job %s diverged", id)
+		}
+	}
+	if misses := metric(t, hs.URL, "rnuca_result_cache_misses_total"); misses != 1 {
+		t.Fatalf("%v cache misses for %d identical jobs, want exactly 1 simulation", misses, n)
+	}
+	if served := metric(t, hs.URL, "rnuca_result_cache_hits_total") +
+		metric(t, hs.URL, "rnuca_result_cache_shared_total"); served != n-1 {
+		t.Fatalf("hits+shared = %v, want %d", served, n-1)
+	}
+}
+
+// A second figure build over an unchanged corpus digest performs zero
+// simulation: no new cache misses, only hits — a 100%% hit rate,
+// observable via /metrics.
+func TestFigureSecondBuildFullyCached(t *testing.T) {
+	_, hs, _ := newTestServer(t, 2)
+	spec := JobSpec{
+		Kind:    "figure",
+		Corpora: []string{"oltp"},
+		Options: JobOptions{Warm: 1000, Measure: 2000, TraceRefs: 12000},
+	}
+
+	fin := waitJob(t, hs.URL, postJob(t, hs.URL, spec).ID)
+	if fin.State != JobDone {
+		t.Fatalf("figure build: %s (%s)", fin.State, fin.Error)
+	}
+	if len(fin.Result.Tables) != 5 {
+		t.Fatalf("figure build produced %d tables, want 5", len(fin.Result.Tables))
+	}
+	missesAfterFirst := metric(t, hs.URL, "rnuca_result_cache_misses_total")
+	hitsAfterFirst := metric(t, hs.URL, "rnuca_result_cache_hits_total")
+	if missesAfterFirst == 0 {
+		t.Fatal("first figure build simulated nothing")
+	}
+
+	fin2 := waitJob(t, hs.URL, postJob(t, hs.URL, spec).ID)
+	if fin2.State != JobDone {
+		t.Fatalf("second figure build: %s (%s)", fin2.State, fin2.Error)
+	}
+	if fin2.Result.Cache["figure"] != "hit" {
+		t.Fatalf("second build outcome %v, want whole-build hit", fin2.Result.Cache)
+	}
+	misses := metric(t, hs.URL, "rnuca_result_cache_misses_total")
+	hits := metric(t, hs.URL, "rnuca_result_cache_hits_total")
+	if misses != missesAfterFirst {
+		t.Fatalf("second build missed the cache %v times, want 0 (100%% hit rate)", misses-missesAfterFirst)
+	}
+	if hits <= hitsAfterFirst {
+		t.Fatal("second build recorded no cache hits")
+	}
+	if !reflect.DeepEqual(fin2.Result.Tables, fin.Result.Tables) {
+		t.Fatal("cached figure build returned different tables")
+	}
+}
+
+// SSE streaming: a watcher sees status events and a final "done" event
+// carrying the result.
+func TestJobSSE(t *testing.T) {
+	_, hs, _ := newTestServer(t, 2)
+	st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "P"})
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var event string
+	var final JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "event: "); ok {
+			event = rest
+		}
+		if rest, ok := strings.CutPrefix(line, "data: "); ok && event == "done" {
+			if err := json.Unmarshal([]byte(rest), &final); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if final.State != JobDone || final.Result == nil {
+		t.Fatalf("SSE terminal event: %+v", final)
+	}
+}
+
+// Canceling a running job stops the simulation and never caches the
+// partial result.
+func TestCancelRunningJob(t *testing.T) {
+	_, hs, _ := newTestServer(t, 1)
+	// A generated run long enough that cancellation lands mid-flight.
+	st := postJob(t, hs.URL, JobSpec{
+		Kind: "run", Workload: "OLTP-DB2", Design: "S",
+		Options: JobOptions{Warm: 100_000, Measure: 20_000_000},
+	})
+	time.Sleep(150 * time.Millisecond)
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+st.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, hs.URL, st.ID)
+	if fin.State != JobCanceled {
+		t.Fatalf("state %s, want canceled", fin.State)
+	}
+	if misses := metric(t, hs.URL, "rnuca_result_cache_misses_total"); misses != 1 {
+		t.Fatalf("misses %v", misses)
+	}
+	if entries := metric(t, hs.URL, "rnuca_result_cache_entries"); entries != 0 {
+		t.Fatal("canceled partial result entered the cache")
+	}
+}
+
+// Corpus endpoints: upload by body, manifest fetch, verify, ref
+// deletion, and GC.
+func TestCorpusEndpoints(t *testing.T) {
+	_, hs, ent := newTestServer(t, 1)
+
+	b, err := os.ReadFile(recordedTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/corpora?name=upload", "application/octet-stream", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up corpus.Entry
+	json.NewDecoder(resp.Body).Decode(&up)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || up.Digest != ent.Digest {
+		// Identical bytes: the object already exists, so 200 (not 201)
+		// and the same digest.
+		t.Fatalf("upload: %s, digest %s vs %s", resp.Status, up.Digest, ent.Digest)
+	}
+
+	resp, err = http.Get(hs.URL + "/v1/corpora/upload?verify=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: %s", resp.Status)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/corpora/upload", nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete ref: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	// Still referenced by "oltp" (and the derived name): GC keeps it.
+	resp, err = http.Post(hs.URL+"/v1/corpora/gc", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gc struct {
+		Removed []corpus.Entry `json:"removed"`
+	}
+	json.NewDecoder(resp.Body).Decode(&gc)
+	resp.Body.Close()
+	if len(gc.Removed) != 0 {
+		t.Fatalf("gc removed referenced objects: %+v", gc.Removed)
+	}
+	if v := metric(t, hs.URL, "rnuca_corpus_objects"); v != 1 {
+		t.Fatalf("corpus objects %v", v)
+	}
+}
+
+// Draining: no new jobs are accepted; queued and running work
+// completes.
+func TestDrainRejectsNewJobs(t *testing.T) {
+	s, hs, _ := newTestServer(t, 1)
+	st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "I"})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(ctx) }()
+
+	// Submissions during the drain are refused with 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b, _ := json.Marshal(JobSpec{Kind: "replay", Corpus: "oltp"})
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never started refusing jobs (last %s)", resp.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if fin, _ := s.Job(st.ID); fin.State != JobDone {
+		t.Fatalf("pre-drain job: %s (%s)", fin.State, fin.Error)
+	}
+}
+
+// Convert jobs ingest foreign traces from the configured ingest
+// directory into the store — and refuse paths outside it.
+func TestConvertJobRootedInIngestDir(t *testing.T) {
+	st, err := corpus.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestDir := t.TempDir()
+	din := filepath.Join(ingestDir, "tiny.din")
+	if err := os.WriteFile(din, []byte("2 401000\n0 10000000\n1 10000040\n2 401004\n0 10000080\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outside := filepath.Join(t.TempDir(), "outside.din")
+	if err := os.WriteFile(outside, []byte("2 401000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Store: st, Workers: 1, IngestDir: ingestDir})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+
+	fin := waitJob(t, hs.URL, postJob(t, hs.URL, JobSpec{
+		Kind:    "convert",
+		Convert: &ConvertSpec{Inputs: []string{din}, Cores: 2, Interleave: "stride", Name: "tiny"},
+	}).ID)
+	if fin.State != JobDone || fin.Result.Corpus == nil {
+		t.Fatalf("convert job: %s (%s)", fin.State, fin.Error)
+	}
+	if fin.Result.Corpus.Refs != 5 || fin.Result.Corpus.Cores != 2 {
+		t.Fatalf("converted entry %+v", fin.Result.Corpus)
+	}
+	if _, err := st.Get("tiny"); err != nil {
+		t.Fatalf("converted corpus not in store: %v", err)
+	}
+
+	for _, bad := range []string{outside, filepath.Join(ingestDir, "..", "escape.din")} {
+		b, _ := json.Marshal(JobSpec{Kind: "convert", Convert: &ConvertSpec{Inputs: []string{bad}}})
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("input %q outside the ingest dir accepted: %s", bad, resp.Status)
+		}
+	}
+}
+
+// Terminal jobs beyond the history bound are pruned, oldest first;
+// live jobs always survive.
+func TestJobHistoryPruning(t *testing.T) {
+	st, err := corpus.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Add(recordedTrace(t), "oltp"); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Store: st, Workers: 1, JobHistory: 3})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		// Distinct windows keep the jobs from collapsing into one
+		// cache entry, so each runs (and finishes) on its own.
+		st := postJob(t, hs.URL, JobSpec{
+			Kind: "replay", Corpus: "oltp", Design: "S",
+			Options: JobOptions{WindowStart: uint64(i), WindowRefs: 3000},
+		})
+		ids = append(ids, st.ID)
+		waitJob(t, hs.URL, st.ID)
+	}
+	jobs := s.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs retained, want 3", len(jobs))
+	}
+	for _, id := range ids[:3] {
+		if _, ok := s.Job(id); ok {
+			t.Fatalf("old job %s survived pruning", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if _, ok := s.Job(id); !ok {
+			t.Fatalf("recent job %s pruned", id)
+		}
+	}
+}
+
+// Bad specs are rejected at submission with 400.
+func TestSubmitValidation(t *testing.T) {
+	_, hs, _ := newTestServer(t, 1)
+	for _, spec := range []JobSpec{
+		{Kind: "teleport"},
+		{Kind: "run", Workload: "No-Such-WL"},
+		{Kind: "run", Workload: "OLTP-DB2", Design: "X"},
+		{Kind: "replay", Corpus: "no-such-corpus"},
+		{Kind: "figure"},
+		{Kind: "convert"},
+		// Negative options would panic deep in the simulator; they
+		// must be a 400, not a dead worker.
+		{Kind: "run", Workload: "OLTP-DB2", Options: JobOptions{InstrClusterSize: -1}},
+		{Kind: "replay", Corpus: "oltp", Options: JobOptions{Batches: -2}},
+	} {
+		b, _ := json.Marshal(spec)
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %+v accepted: %s", spec, resp.Status)
+		}
+	}
+	if v := metric(t, hs.URL, "rnuca_jobs_rejected_total"); v != 8 {
+		t.Fatalf("rejected %v, want 8", v)
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if tracePath != "" {
+		os.RemoveAll(filepath.Dir(tracePath))
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnuca"
+	"rnuca/internal/corpus"
+	"rnuca/internal/experiments"
+	"rnuca/internal/ingest"
+	"rnuca/internal/report"
+	"rnuca/internal/resultcache"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrDraining: the server stopped accepting jobs (SIGTERM drain).
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+	// ErrBusy: the job queue is full.
+	ErrBusy = errors.New("serve: job queue full")
+)
+
+// Config tunes a Server. The zero value serves without a corpus store,
+// with one worker per CPU, and with default queue and cache sizes.
+type Config struct {
+	// Store is the corpus store backing replay/compare/convert/figure
+	// jobs and the /v1/corpora endpoints; nil disables them.
+	Store *corpus.Store
+	// Workers bounds concurrently executing jobs (0 = one per CPU).
+	Workers int
+	// QueueDepth bounds queued-but-unstarted jobs (0 = 64).
+	QueueDepth int
+	// CacheEntries sizes the memoized result cache (0 = the
+	// resultcache default).
+	CacheEntries int
+	// IngestDir roots convert-job inputs: a convert job may only read
+	// files under this directory. Empty disables convert jobs — an
+	// unauthenticated API must not open arbitrary server paths.
+	IngestDir string
+	// JobHistory bounds retained terminal jobs (0 = 512): once
+	// exceeded, the oldest finished jobs (and their result payloads)
+	// are dropped from /v1/jobs. Queued and running jobs never drop.
+	JobHistory int
+}
+
+// defaultJobHistory is the terminal-job retention bound when
+// Config.JobHistory is zero.
+const defaultJobHistory = 512
+
+// Server owns the job queue, the bounded worker pool, and the shared
+// memoized result cache. Create with New, mount Handler on an
+// http.Server, and Drain before exit.
+type Server struct {
+	cfg   Config
+	cache *resultcache.Cache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	queue    chan *job
+	draining bool
+
+	wg sync.WaitGroup
+
+	mSubmitted, mCompleted, mFailed, mCanceled, mRejected atomic.Uint64
+	mQueued, mRunning                                     atomic.Int64
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = defaultJobHistory
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   resultcache.New(cfg.CacheEntries),
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the shared result cache (the figure harness and tests
+// read its metrics; Campaigns created outside the server can attach to
+// it).
+func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
+// Submit validates a spec, enqueues the job, and returns its status.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	j := &job{id: newJobID(), spec: spec, created: time.Now(), state: JobQueued}
+	if err := s.validate(j); err != nil {
+		s.mRejected.Add(1)
+		return JobStatus{}, err
+	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		j.cancel() // detach the rejected job's context from baseCtx
+		s.mRejected.Add(1)
+		return JobStatus{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		s.mRejected.Add(1)
+		return JobStatus{}, ErrBusy
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	s.mSubmitted.Add(1)
+	s.mQueued.Add(1)
+	return j.status(), nil
+}
+
+// Job returns a job's status by ID.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Cancel cancels a job: queued jobs never run, running jobs stop at
+// the next progress observation (a few thousand simulated references).
+func (s *Server) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.cancel()
+	return j.status(), true
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// jobByID returns the raw job record.
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Drain stops accepting new jobs and waits for queued and running work
+// to finish, or for ctx to end (running jobs are then left to Close).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server: drain begins if it has not, every job
+// context is canceled (running simulations stop at their next progress
+// observation), and the workers are awaited.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through execution and terminal-state
+// accounting. The job's context is always canceled on the way out so
+// it detaches from the server's base context (a long-running server
+// must not accumulate one live child context per finished job).
+func (s *Server) runJob(j *job) {
+	defer j.cancel()
+	s.mQueued.Add(-1)
+	if j.ctx.Err() != nil {
+		s.mCanceled.Add(1)
+		j.finish(JobCanceled, nil, context.Cause(j.ctx))
+		return
+	}
+	j.setRunning()
+	s.mRunning.Add(1)
+	defer s.mRunning.Add(-1)
+
+	res, err := s.execute(j)
+	switch {
+	case err == nil:
+		s.mCompleted.Add(1)
+		j.finish(JobDone, res, nil)
+	case j.ctx.Err() != nil || errors.Is(err, context.Canceled):
+		s.mCanceled.Add(1)
+		j.finish(JobCanceled, nil, err)
+	default:
+		s.mFailed.Add(1)
+		j.finish(JobFailed, nil, err)
+	}
+	s.pruneJobs()
+}
+
+// pruneJobs drops the oldest terminal jobs (and their retained result
+// payloads) beyond the history bound, so a long-running server does
+// not accumulate one record per request forever.
+func (s *Server) pruneJobs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if st := s.jobs[id]; st != nil && s.jobTerminal(st) {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.JobHistory {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		st := s.jobs[id]
+		if st != nil && s.jobTerminal(st) && terminal > s.cfg.JobHistory {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// jobTerminal reads a job's terminal-ness under its own lock.
+func (s *Server) jobTerminal(j *job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.terminal()
+}
+
+// execute dispatches a job by kind.
+func (s *Server) execute(j *job) (*JobResult, error) {
+	switch j.spec.Kind {
+	case "run":
+		return s.executeRun(j)
+	case "replay":
+		return s.executeReplay(j)
+	case "compare":
+		return s.executeCompare(j)
+	case "convert":
+		return s.executeConvert(j)
+	case "figure":
+		return s.executeFigure(j)
+	}
+	return nil, fmt.Errorf("serve: unvalidated job kind %q", j.spec.Kind)
+}
+
+// cell runs one simulation cell through the memoized cache: key it,
+// join or start the flight, and refuse to cache a canceled partial.
+func (s *Server) cell(j *job, designKey, source string, opt rnuca.Options,
+	compute func(opt rnuca.Options) (rnuca.Result, error)) (rnuca.Result, resultcache.Outcome, error) {
+	key, ok := resultcache.Key(designKey, source, opt)
+	if !ok {
+		r, err := compute(opt)
+		return r, resultcache.Miss, err
+	}
+	v, outcome, err := s.cache.Do(j.ctx, key, func(fctx context.Context) (any, error) {
+		o := opt
+		o.Progress = j.progress(fctx)
+		r, err := compute(o)
+		if err != nil {
+			return nil, err
+		}
+		// A canceled flight returns a partial result; it must never
+		// enter the cache.
+		if fctx.Err() != nil {
+			return nil, fctx.Err()
+		}
+		return r, nil
+	})
+	if err != nil {
+		return rnuca.Result{}, outcome, err
+	}
+	return v.(rnuca.Result), outcome, nil
+}
+
+func (s *Server) executeRun(j *job) (*JobResult, error) {
+	source, ok := resultcache.WorkloadSource(j.workload)
+	if !ok {
+		return nil, fmt.Errorf("serve: workload %q not canonicalizable", j.workload.Name)
+	}
+	opt := j.spec.Options.options()
+	r, outcome, err := s.cell(j, string(j.design), source, opt, func(o rnuca.Options) (rnuca.Result, error) {
+		return rnuca.Run(j.workload, j.design, o), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Result: &r, Cache: map[string]string{string(j.design): outcome.String()}}, nil
+}
+
+func (s *Server) executeReplay(j *job) (*JobResult, error) {
+	opt := j.spec.Options.options()
+	r, outcome, err := s.cell(j, string(j.design), resultcache.CorpusSource(j.digest), opt,
+		func(o rnuca.Options) (rnuca.Result, error) {
+			return rnuca.Replay(j.tracePath, j.design, o)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Result: &r, Cache: map[string]string{string(j.design): outcome.String()}}, nil
+}
+
+func (s *Server) executeCompare(j *job) (*JobResult, error) {
+	out := &JobResult{Results: map[string]rnuca.Result{}, Cache: map[string]string{}}
+	for _, id := range j.designs {
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Each design is a fresh cell: restart the progress counters so
+		// a later cell does not appear frozen at the previous one's max.
+		j.done.Store(0)
+		j.total.Store(0)
+		var r rnuca.Result
+		var outcome resultcache.Outcome
+		var err error
+		opt := j.spec.Options.options()
+		if j.tracePath != "" {
+			r, outcome, err = s.cell(j, string(id), resultcache.CorpusSource(j.digest), opt,
+				func(o rnuca.Options) (rnuca.Result, error) {
+					return rnuca.Replay(j.tracePath, id, o)
+				})
+		} else {
+			var source string
+			var ok bool
+			if source, ok = resultcache.WorkloadSource(j.workload); !ok {
+				return nil, fmt.Errorf("serve: workload %q not canonicalizable", j.workload.Name)
+			}
+			r, outcome, err = s.cell(j, string(id), source, opt, func(o rnuca.Options) (rnuca.Result, error) {
+				return rnuca.Run(j.workload, id, o), nil
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Results[string(id)] = r
+		out.Cache[string(id)] = outcome.String()
+	}
+	return out, nil
+}
+
+func (s *Server) executeConvert(j *job) (*JobResult, error) {
+	opt, err := j.spec.Convert.ingestOptions()
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp("", "rnuca-serve-convert-*.rnt")
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	tmpPath := tmp.Name()
+	tmp.Close()
+	// The converter has no cancellation hook, so it runs on its own
+	// goroutine: a canceled job (or a forced shutdown) releases the
+	// worker immediately, and the conversion finishes detached with a
+	// reaper removing its temporary output.
+	done := make(chan error, 1)
+	go func() {
+		_, cerr := ingest.Convert(j.spec.Convert.Inputs, tmpPath, opt)
+		done <- cerr
+	}()
+	select {
+	case <-j.ctx.Done():
+		go func() {
+			<-done
+			os.Remove(tmpPath)
+		}()
+		return nil, j.ctx.Err()
+	case err = <-done:
+	}
+	defer os.Remove(tmpPath)
+	if err != nil {
+		return nil, err
+	}
+	ent, _, err := s.cfg.Store.Add(tmpPath, j.spec.Convert.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Corpus: &ent}, nil
+}
+
+// figureScale derives the campaign scale from job options, defaulting
+// to the Quick scale the test harness uses.
+func figureScale(o JobOptions) experiments.Scale {
+	sc := experiments.Quick()
+	if o.Warm > 0 {
+		sc.Warm = o.Warm
+	}
+	if o.Measure > 0 {
+		sc.Measure = o.Measure
+	}
+	if o.Batches > 0 {
+		sc.Batches = o.Batches
+	}
+	if o.TraceRefs > 0 {
+		sc.TraceRefs = o.TraceRefs
+	}
+	sc.ASRBest = o.ASRBest
+	return sc
+}
+
+// executeFigure builds the ingested-corpus table suite (the Figure 2–5
+// characterization analyses plus the Figure 12 design comparison) over
+// the job's corpora. The whole build memoizes under a key of the
+// corpus digests, designs, and scale; the campaign's individual
+// simulation cells share the same cache, so even a partially-warm
+// cache skips every cell it has seen.
+func (s *Server) executeFigure(j *job) (*JobResult, error) {
+	sc := figureScale(j.spec.Options)
+	digests := make([]string, len(j.corpora))
+	for i, c := range j.corpora {
+		digests[i] = c.digest
+	}
+	sort.Strings(digests)
+	ids := j.designs
+	keyJSON, err := json.Marshal(struct {
+		Digests []string          `json:"d"`
+		Designs []rnuca.DesignID  `json:"ids"`
+		Scale   experiments.Scale `json:"sc"`
+	}{digests, ids, sc})
+	if err != nil {
+		return nil, err
+	}
+	key := "figure|" + string(keyJSON)
+
+	v, outcome, err := s.cache.Do(j.ctx, key, func(fctx context.Context) (tables any, err error) {
+		// The campaign API reports simulation failures by panicking
+		// (its callers are harnesses); a serving worker must turn that
+		// into a failed job, not a dead process.
+		defer func() {
+			if p := recover(); p != nil {
+				tables, err = nil, fmt.Errorf("serve: figure build: %v", p)
+			}
+		}()
+		camp := experiments.NewCampaign(sc)
+		camp.Shards = j.spec.Options.Shards
+		camp.SetResultCache(s.cache)
+		for _, c := range j.corpora {
+			if _, err := camp.UseCorpus(s.cfg.Store, c.digest); err != nil {
+				return nil, err
+			}
+		}
+		ts := camp.FigIngested()
+		ts = append(ts, camp.CompareIngested(ids))
+		if err := fctx.Err(); err != nil {
+			return nil, err
+		}
+		return ts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		Tables: v.([]*report.Table),
+		Cache:  map[string]string{"figure": outcome.String()},
+	}, nil
+}

@@ -99,11 +99,29 @@ type Engine struct {
 
 	clocks []float64
 
+	// Progress, when non-nil, is observed every ProgressEvery consumed
+	// references (warmup included) with the count consumed so far; a
+	// false return stops the run early, leaving partial accounting in
+	// the Result. The callback only reads the loop counter, so its
+	// presence cannot perturb the deterministic timing model — a run
+	// that completes under observation is bit-identical to an
+	// unobserved one. The serving layer (internal/serve) uses it for
+	// job cancellation and live progress.
+	Progress func(consumed int) bool
+	// ProgressEvery is the observation period; 0 means
+	// DefaultProgressEvery.
+	ProgressEvery int
+
 	// Page-class tracking for the §5.2 experiment: ground-truth classes
 	// observed per page, and measured accesses per page.
 	pageMask  map[uint64]uint8
 	pageCount map[uint64]uint64
 }
+
+// DefaultProgressEvery is the default Progress observation period, in
+// consumed references: frequent enough that cancellation lands within
+// milliseconds, rare enough to stay invisible in profiles.
+const DefaultProgressEvery = 8192
 
 // NewEngineSource builds an engine fed by a multiplexed RefSource (a
 // trace reader, a workload source, or any other implementation) instead
@@ -138,7 +156,15 @@ func (e *Engine) Run(warm, measure int) Result {
 	window := float64(e.ch.Cfg.WindowCycles)
 	var netStart struct{ msgs, flits uint64 }
 
+	tick := e.ProgressEvery
+	if tick <= 0 {
+		tick = DefaultProgressEvery
+	}
+
 	for i := 0; i < warm+measure; i++ {
+		if e.Progress != nil && i > 0 && i%tick == 0 && !e.Progress(i) {
+			break
+		}
 		measuring := i >= warm
 		if i == warm {
 			st := e.ch.Net.TotalStats()

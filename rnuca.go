@@ -43,7 +43,16 @@
 // turns Dinero/ChampSim-style/CSV address streams into indexed v2
 // corpora with page-grain class inference, TraceWorkload synthesizes a
 // replayable workload from any corpus header, and cmd/rnuca-trace wraps
-// record/info/index/convert/replay for the command line.
+// record/info/index/convert/replay (plus the corpus-store subcommands)
+// for the command line.
+//
+// For serving, cmd/rnuca-serve exposes the whole pipeline as a
+// long-running HTTP job service (internal/serve) over a
+// content-addressed corpus store (internal/corpus), memoizing results
+// behind a singleflight LRU (internal/resultcache) so identical
+// concurrent requests simulate once and repeated requests not at all;
+// Options.Progress is the cooperative observation/cancellation hook
+// that service uses.
 package rnuca
 
 import (
@@ -128,6 +137,18 @@ type Options struct {
 	// batch's source six times); use Replay for trace-driven ASR
 	// best-of-six.
 	Source func(batch int) RefSource
+
+	// Progress, when non-nil, is called by each engine roughly every
+	// few thousand consumed references with the engine's running count
+	// and the run's per-engine total (Warm+Measure); returning false
+	// stops that engine early, leaving a partial Result. It exists for
+	// cooperative cancellation and live progress reporting (the
+	// rnuca-serve job service): observation cannot perturb the
+	// deterministic timing model, so an observed run that completes is
+	// bit-identical to an unobserved one, and result caches ignore the
+	// field when keying. With Batches > 1 the engines run concurrently,
+	// so the callback must be safe for concurrent use.
+	Progress func(done, total int) bool
 
 	// Shards, when > 1, fans each replay batch's trace decoding across
 	// that many parallel workers (replay only; requires a v2 indexed
@@ -272,6 +293,7 @@ func runOne(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, streams 
 	d := mk(ch)
 	eng := sim.NewEngine(ch, d, streams)
 	eng.OffChipMLP = ws.OffChipMLP
+	hookProgress(eng, opt)
 	res := eng.Run(opt.Warm, opt.Measure)
 	res.Workload = ws.Name
 	return res
@@ -283,9 +305,20 @@ func runOneSource(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, sr
 	d := mk(ch)
 	eng := sim.NewEngineSource(ch, d, src)
 	eng.OffChipMLP = ws.OffChipMLP
+	hookProgress(eng, opt)
 	res := eng.Run(opt.Warm, opt.Measure)
 	res.Workload = ws.Name
 	return res
+}
+
+// hookProgress attaches the options' progress observer to an engine.
+func hookProgress(eng *sim.Engine, opt Options) {
+	if opt.Progress == nil {
+		return
+	}
+	total := opt.Warm + opt.Measure
+	cb := opt.Progress
+	eng.Progress = func(done int) bool { return cb(done, total) }
 }
 
 // runBatches executes opt.Batches independently-seeded runs and folds the
