@@ -13,10 +13,12 @@
 // is queued and running (up to -drain), and exits; a second signal
 // cancels running jobs and exits immediately.
 //
-// A minimal session against a running server:
+// A minimal session against a running server — the job body is the
+// canonical rnuca.Job JSON (the pre-v2 kind-based shapes are still
+// accepted for one release):
 //
 //	curl -sT oltp.rnt 'localhost:8091/v1/corpora?name=oltp'
-//	curl -s localhost:8091/v1/jobs -d '{"kind":"replay","corpus":"oltp"}'
+//	curl -s localhost:8091/v1/jobs -d '{"input":{"corpus":"oltp"},"designs":["R"]}'
 //	curl -s localhost:8091/v1/jobs/<id>
 //	curl -s localhost:8091/metrics | grep result_cache
 package main

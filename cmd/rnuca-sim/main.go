@@ -5,14 +5,22 @@
 //
 //	rnuca-sim -workload OLTP-DB2 -design R [-warm N] [-measure N]
 //	          [-clusters 4] [-batches 1]
+//
+// SIGINT (Ctrl-C) cancels the simulation cooperatively: the engine
+// stops at its next progress poll and the partial result measured so
+// far is printed before exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"rnuca"
 	"rnuca/internal/sim"
@@ -41,16 +49,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wl)
 		os.Exit(2)
 	}
-	id := rnuca.DesignID(strings.ToUpper(*ds))
-	switch id {
-	case rnuca.DesignPrivate, rnuca.DesignASR, rnuca.DesignShared, rnuca.DesignRNUCA, rnuca.DesignIdeal:
-	default:
-		fmt.Fprintf(os.Stderr, "unknown design %q (P, A, S, R, I)\n", *ds)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var gauge rnuca.ProgressGauge
+	job := rnuca.Job{
+		Input:   rnuca.FromWorkload(w),
+		Designs: []rnuca.DesignID{rnuca.DesignID(strings.ToUpper(*ds))},
+		Options: rnuca.RunOptions{
+			Warm: *warm, Measure: *measure, Batches: *batches,
+			InstrClusterSize: *clusters,
+			Progress:         gauge.Observe,
+		},
+	}
+	id := job.Designs[0]
+
+	r, err := job.Run(ctx)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fmt.Fprintf(os.Stderr, "rnuca-sim: %v\n", err)
 		os.Exit(2)
 	}
-
-	opt := rnuca.Options{Warm: *warm, Measure: *measure, Batches: *batches, InstrClusterSize: *clusters}
-	r := rnuca.Run(w, id, opt)
+	if interrupted {
+		// The engine stopped at its progress poll; report how far it
+		// got and print the partial accounting instead of dying
+		// mid-write.
+		done, total := gauge.Progress()
+		fmt.Fprintf(os.Stderr, "rnuca-sim: interrupted at %d of %d refs; partial result follows\n",
+			done, total)
+	}
 
 	if *asJSON {
 		out := map[string]interface{}{
@@ -71,6 +99,9 @@ func main() {
 			"netMessages":   r.NetMessages,
 			"netFlitHops":   r.NetFlitHops,
 		}
+		if interrupted {
+			out["partial"] = true
+		}
 		if r.ClassifiedAccesses > 0 {
 			out["misclassifiedFrac"] = float64(r.MisclassifiedAccesses) / float64(r.ClassifiedAccesses)
 			out["mixedPageFrac"] = float64(r.MixedPageAccesses) / float64(r.Refs)
@@ -80,6 +111,9 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if interrupted {
+			os.Exit(130)
 		}
 		return
 	}
@@ -94,12 +128,17 @@ func main() {
 		sim.BucketL2Coh, sim.BucketOffChip, sim.BucketOther, sim.BucketReclass} {
 		fmt.Printf("  %-18s %.4f\n", b.String(), r.CPIStack[b])
 	}
-	fmt.Printf("  off-chip misses    %d (%.2f%% of %d refs)\n",
-		r.OffChipMisses, 100*float64(r.OffChipMisses)/float64(r.Refs), r.Refs)
+	if r.Refs > 0 {
+		fmt.Printf("  off-chip misses    %d (%.2f%% of %d refs)\n",
+			r.OffChipMisses, 100*float64(r.OffChipMisses)/float64(r.Refs), r.Refs)
+	}
 	if r.ClassifiedAccesses > 0 {
 		fmt.Printf("  misclassified      %.3f%% of accesses\n",
 			100*float64(r.MisclassifiedAccesses)/float64(r.ClassifiedAccesses))
 		fmt.Printf("  multi-class pages  %.1f%% of accesses\n",
 			100*float64(r.MixedPageAccesses)/float64(r.Refs))
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }

@@ -42,16 +42,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"rnuca"
 	"rnuca/internal/ingest"
@@ -632,13 +635,35 @@ func replay(args []string) {
 		}
 	}
 
-	opt := rnuca.Options{Warm: *warm, Measure: *measure, Batches: *batches, Shards: *shards}
+	// SIGINT cancels cooperatively: every design's engines stop at
+	// their next progress poll, and whatever partial accounting exists
+	// is printed instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	in := rnuca.FromTrace(path).Sharded(*shards)
 	if *window != "" {
-		opt.WindowStart, opt.WindowRefs = parseWindow(*window)
+		start, n := parseWindow(*window)
+		in = in.Window(start, n)
 	}
-	results, err := rnuca.ReplayCompare(path, ids, opt)
-	if err != nil {
+	var gauge rnuca.ProgressGauge
+	job := rnuca.Job{
+		Input:   in,
+		Designs: ids,
+		Options: rnuca.RunOptions{
+			Warm: *warm, Measure: *measure, Batches: *batches,
+			Progress: gauge.Observe,
+		},
+	}
+	results, err := job.Compare(ctx)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fatalf("replay: %v", err)
+	}
+	if interrupted {
+		done, total := gauge.Progress()
+		fmt.Fprintf(os.Stderr, "replay: interrupted around ref %d of %d per engine; partial results follow\n",
+			done, total)
 	}
 
 	fmt.Printf("replay of %s (%s, %d cores", path, hdr.Workload, hdr.Cores)
@@ -655,5 +680,8 @@ func replay(args []string) {
 		r := results[id]
 		fmt.Printf("  %-6s %-8.4f %-10d %-9d %+.1f%%\n",
 			id, r.CPI(), r.OffChipMisses, r.NetMessages, 100*r.Speedup(base.Result))
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }

@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"rnuca"
 	"rnuca/internal/cache"
@@ -18,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	w := rnuca.Apache() // the suite's largest instruction footprint
 	fmt.Printf("Instruction-cluster sweep on %s (instr footprint %dKB, slice 1MB)\n\n",
 		w.Name, w.InstrFootprint>>10)
@@ -26,9 +29,15 @@ func main() {
 		"size", "CPI", "instr L2", "instr off", "misses", "total CPI")
 	var cpis []float64
 	for _, size := range []int{1, 2, 4, 8, 16} {
-		r := rnuca.Run(w, rnuca.DesignRNUCA, rnuca.Options{
-			Warm: 80_000, Measure: 160_000, InstrClusterSize: size,
-		})
+		job := rnuca.Job{
+			Input:   rnuca.FromWorkload(w),
+			Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+			Options: rnuca.RunOptions{Warm: 80_000, Measure: 160_000, InstrClusterSize: size},
+		}
+		r, err := job.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cpis = append(cpis, r.CPI())
 		fmt.Printf("%-6d %8.3f %12.4f %12.4f %10d   %s\n",
 			size, r.CPI(),

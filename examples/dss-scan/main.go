@@ -11,7 +11,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"rnuca"
 	"rnuca/internal/cache"
@@ -19,13 +21,21 @@ import (
 )
 
 func main() {
-	opt := rnuca.Options{Warm: 80_000, Measure: 160_000}
+	ctx := context.Background()
+	opts := rnuca.RunOptions{Warm: 80_000, Measure: 160_000}
+	designs := []rnuca.DesignID{rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA}
 
 	fmt.Println("TPC-H query 6: pure scan, 48MB per-core private footprint")
 	fmt.Println()
 	fmt.Printf("%-8s %10s %14s %14s %12s\n", "design", "CPI", "priv L2 CPI", "priv off CPI", "misses")
-	for _, id := range []rnuca.DesignID{rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA} {
-		r := rnuca.Run(rnuca.DSSQry6(), id, opt)
+	cmp, err := rnuca.Job{
+		Input: rnuca.FromWorkload(rnuca.DSSQry6()), Designs: designs, Options: opts,
+	}.Compare(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range designs {
+		r := cmp[id]
 		fmt.Printf("%-8s %10.3f %14.4f %14.4f %12d\n", id, r.CPI(),
 			r.ClassCycles[cache.ClassPrivate][sim.BucketL2],
 			r.ClassCycles[cache.ClassPrivate][sim.BucketOffChip],
@@ -38,10 +48,14 @@ func main() {
 	for _, seq := range []float64{0.25, 0.5, 0.85} {
 		w := rnuca.DSSQry6()
 		w.PrivateSeqFrac = seq
-		p := rnuca.Run(w, rnuca.DesignPrivate, opt)
-		s := rnuca.Run(w, rnuca.DesignShared, opt)
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
-		fmt.Printf("%-10.2f %10.3f %10.3f %10.3f\n", seq, p.CPI(), s.CPI(), r.CPI())
+		cmp, err := rnuca.Job{
+			Input: rnuca.FromWorkload(w), Designs: designs, Options: opts,
+		}.Compare(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.2f %10.3f %10.3f %10.3f\n", seq,
+			cmp[rnuca.DesignPrivate].CPI(), cmp[rnuca.DesignShared].CPI(), cmp[rnuca.DesignRNUCA].CPI())
 	}
 	fmt.Println()
 	fmt.Println("R-NUCA serves scans from the local slice at private-design latency")

@@ -6,20 +6,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"rnuca"
 	"rnuca/internal/sim"
 )
 
 func main() {
-	// Pick a workload (TPC-C on DB2, the paper's flagship) and run it on
-	// the R-NUCA design with default Table 1 parameters. Runs are
-	// deterministic: same workload + options = same result.
-	w := rnuca.OLTPDB2()
-	opt := rnuca.Options{Warm: 60_000, Measure: 120_000}
+	ctx := context.Background()
 
-	res := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+	// Pick a workload (TPC-C on DB2, the paper's flagship) and run it on
+	// the R-NUCA design with default Table 1 parameters. A Job pairs an
+	// Input (where references come from) with the designs to evaluate;
+	// runs are deterministic: same job = same result.
+	w := rnuca.OLTPDB2()
+	job := rnuca.Job{
+		Input:   rnuca.FromWorkload(w),
+		Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+		Options: rnuca.RunOptions{Warm: 60_000, Measure: 120_000},
+	}
+
+	res, err := job.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("R-NUCA on %s (%d cores)\n\n", w.Name, w.Cores)
 	fmt.Printf("  CPI: %.3f over %d references\n\n", res.CPI(), res.Refs)
@@ -33,11 +45,14 @@ func main() {
 	fmt.Printf("  misclassified accesses: %.2f%% (paper: <0.75%%)\n",
 		100*float64(res.MisclassifiedAccesses)/float64(res.ClassifiedAccesses))
 
-	// Compare against the competing designs, Figure 12 style.
+	// Compare against the competing designs, Figure 12 style: the same
+	// job with more designs.
+	job.Designs = []rnuca.DesignID{rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA}
+	cmp, err := job.Compare(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nSpeedup over the private design:")
-	cmp := rnuca.Compare(w, []rnuca.DesignID{
-		rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA,
-	}, opt)
 	base := cmp[rnuca.DesignPrivate]
 	for _, id := range []rnuca.DesignID{rnuca.DesignShared, rnuca.DesignRNUCA} {
 		fmt.Printf("  %s: %+.1f%%\n", id, 100*cmp[id].Speedup(base.Result))

@@ -11,13 +11,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"rnuca"
 )
 
 func main() {
-	opt := rnuca.Options{Warm: 80_000, Measure: 160_000}
+	ctx := context.Background()
+	opts := rnuca.RunOptions{Warm: 80_000, Measure: 160_000}
 	suite := []rnuca.Workload{
 		rnuca.OLTPDB2(), rnuca.OLTPOracle(), rnuca.Apache(),
 		rnuca.DSSQry6(), rnuca.DSSQry8(), rnuca.DSSQry13(),
@@ -27,9 +30,15 @@ func main() {
 		"workload", "P", "S", "R", "best static", "R vs best static")
 	var worst float64 = 1e9
 	for _, w := range suite {
-		p := rnuca.Run(w, rnuca.DesignPrivate, opt)
-		s := rnuca.Run(w, rnuca.DesignShared, opt)
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+		cmp, err := rnuca.Job{
+			Input:   rnuca.FromWorkload(w),
+			Designs: []rnuca.DesignID{rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA},
+			Options: opts,
+		}.Compare(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, s, r := cmp[rnuca.DesignPrivate], cmp[rnuca.DesignShared], cmp[rnuca.DesignRNUCA]
 
 		best, bestName := p, "private"
 		if s.CPI() < best.CPI() {

@@ -1,0 +1,29 @@
+// Package digest computes the content digests the rest of the system
+// addresses traces by: the lowercase hex SHA-256 of a file's bytes,
+// identical to the address internal/corpus stores objects under. It
+// sits below both the public rnuca package (canonical Input
+// encodings) and internal/resultcache (cache keys), which must not
+// import each other.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File returns the lowercase hex SHA-256 of a file's contents.
+func File(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("digest: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("digest: hashing %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -22,15 +22,16 @@ import (
 // Scale sizes an experiment run.
 type Scale struct {
 	// Warm and Measure are chip-wide reference counts per simulation.
-	Warm, Measure int
+	Warm    int `json:"warm,omitempty"`
+	Measure int `json:"measure,omitempty"`
 	// TraceRefs is the reference count for the §3 characterization
 	// analyses (Figures 2-5), which need no timing simulation.
-	TraceRefs int
+	TraceRefs int `json:"trace_refs,omitempty"`
 	// Batches controls confidence intervals on Figure 12.
-	Batches int
+	Batches int `json:"batches,omitempty"`
 	// ASRBest enables the paper's best-of-six ASR methodology; when
 	// false the adaptive variant alone represents ASR (6x cheaper).
-	ASRBest bool
+	ASRBest bool `json:"asr_best,omitempty"`
 }
 
 // Quick returns a scale suitable for tests and benchmarks (seconds).
@@ -43,16 +44,6 @@ func Full() Scale {
 	return Scale{Warm: 200_000, Measure: 400_000, TraceRefs: 2_000_000, Batches: 3, ASRBest: true}
 }
 
-// traceSource names a registered trace backing a workload, optionally
-// narrowed to a record window. digest is the content SHA-256 when known
-// (corpus-store registrations carry it; plain paths are hashed lazily
-// the first time a shared result cache needs a key).
-type traceSource struct {
-	path        string
-	start, refs uint64
-	digest      string
-}
-
 // Campaign caches per-workload, per-design simulation results.
 type Campaign struct {
 	Scale Scale
@@ -61,9 +52,11 @@ type Campaign struct {
 	Shards   int
 	results  map[string]map[rnuca.DesignID]rnuca.Result
 	rnucaBy  map[string]map[int]rnuca.Result // cluster-size sweep cache
-	traces   map[string]traceSource          // workload name -> trace
+	inputs   map[string]rnuca.Input          // workload name -> registered input
 	ingested map[string]rnuca.Workload       // ingested corpora, by name
 	rcache   *resultcache.Cache              // shared memoized results, optional
+	runCtx   context.Context                 // cancellation path, optional
+	gauge    *rnuca.ProgressGauge            // per-cell observation gauge, optional
 }
 
 // NewCampaign builds an empty campaign at the given scale.
@@ -72,141 +65,187 @@ func NewCampaign(s Scale) *Campaign {
 		Scale:    s,
 		results:  map[string]map[rnuca.DesignID]rnuca.Result{},
 		rnucaBy:  map[string]map[int]rnuca.Result{},
-		traces:   map[string]traceSource{},
+		inputs:   map[string]rnuca.Input{},
 		ingested: map[string]rnuca.Workload{},
 	}
 }
 
-// UseTrace registers a recorded trace for a workload: subsequent runs for
-// that workload replay the trace instead of generating references, so a
-// campaign over saved traces pays generation cost zero times. The §3
-// characterization analyses read the same trace.
-func (c *Campaign) UseTrace(workloadName, path string) {
-	c.traces[workloadName] = traceSource{path: path}
-}
-
-// UseTraceWindow registers records [start, start+refs) of a recorded v2
-// trace for a workload (refs 0 = to the end). One long canonical trace
-// can back many campaign cells this way — each cell samples its own
-// window through the chunk index instead of scanning from the file's
-// start. The characterization analyses read the same window.
-func (c *Campaign) UseTraceWindow(workloadName, path string, start, refs uint64) {
-	c.traces[workloadName] = traceSource{path: path, start: start, refs: refs}
-}
-
-// UseIngested registers an ingested corpus (a foreign trace converted
-// by rnuca-trace convert / internal/ingest): the workload is
-// synthesized from the corpus header, registered like a recorded trace
-// under its header name, and returned so the caller can feed it to
-// Result, analyze-backed figures, or CompareIngested. Ingested
-// workloads additionally join FigIngested's characterization suite.
-func (c *Campaign) UseIngested(path string) (rnuca.Workload, error) {
-	w, err := rnuca.TraceWorkload(path)
+// SetInput registers an input as the reference stream for the workload
+// it describes: subsequent cells for that workload draw from it
+// instead of the statistical generator, and the §3 characterization
+// analyses read the same records. The resolved workload (the catalog
+// entry a trace header names, or its minimal reconstruction) is
+// returned. Replay inputs — FromTrace, FromCorpus — additionally join
+// the ingested suite (FigIngested, CompareIngested), and their window
+// and content digest flow into every cell's cache key.
+func (c *Campaign) SetInput(in rnuca.Input) (rnuca.Workload, error) {
+	if in.Kind() == rnuca.InputSource {
+		// A source closure has no canonical identity (no cache key)
+		// and cannot feed the characterization analyses, which re-read
+		// the stream from the start; campaigns take generators and
+		// recordings only.
+		return rnuca.Workload{}, fmt.Errorf("experiments: SetInput: source-backed inputs cannot back a campaign; record the source to a trace first")
+	}
+	w, err := in.Workload()
 	if err != nil {
 		return rnuca.Workload{}, err
 	}
-	c.traces[w.Name] = traceSource{path: path}
-	c.ingested[w.Name] = w
+	c.inputs[w.Name] = in
+	if in.Replays() {
+		c.ingested[w.Name] = w
+	}
 	return w, nil
+}
+
+// SetContext attaches ctx as the campaign's cancellation path: every
+// simulation cell polls it every few thousand simulated references,
+// and the characterization analyses between batches of observations,
+// so a canceled context aborts a figure build mid-simulation rather
+// than between stages. Cancellation surfaces through the campaign's
+// usual failure convention — the running cell panics with the context
+// error (harness callers are fatal anyway; serving callers recover it
+// into a canceled job).
+func (c *Campaign) SetContext(ctx context.Context) { c.runCtx = ctx }
+
+// SetProgress attaches a gauge that every simulation cell the
+// campaign runs observes (see rnuca.RunOptions.Progress): a serving
+// layer surfaces live per-engine reference counts through it. The
+// campaign resets the gauge at each cell boundary, so watchers see
+// the running cell's progress rather than a monotone max pinned at
+// the first cell's total. Observation never enters cache keys or
+// perturbs results.
+func (c *Campaign) SetProgress(g *rnuca.ProgressGauge) { c.gauge = g }
+
+// ctx returns the campaign's cancellation context.
+func (c *Campaign) ctx() context.Context {
+	if c.runCtx != nil {
+		return c.runCtx
+	}
+	return context.Background()
+}
+
+// UseTrace registers a recorded trace for a workload under an explicit
+// name, without joining the ingested suite.
+//
+// Deprecated: use SetInput(rnuca.FromTrace(path)), which resolves the
+// workload from the trace header.
+func (c *Campaign) UseTrace(workloadName, path string) {
+	c.inputs[workloadName] = rnuca.FromTrace(path)
+}
+
+// UseTraceWindow registers records [start, start+refs) of a recorded
+// v2 trace for a workload (refs 0 = to the end).
+//
+// Deprecated: use SetInput(rnuca.FromTrace(path).Window(start, refs)).
+func (c *Campaign) UseTraceWindow(workloadName, path string, start, refs uint64) {
+	c.inputs[workloadName] = rnuca.FromTrace(path).Window(start, refs)
+}
+
+// UseIngested registers an ingested corpus (a foreign trace converted
+// by rnuca-trace convert / internal/ingest).
+//
+// Deprecated: use SetInput(rnuca.FromTrace(path)).
+func (c *Campaign) UseIngested(path string) (rnuca.Workload, error) {
+	return c.SetInput(rnuca.FromTrace(path))
+}
+
+// UseCorpus registers a stored corpus (internal/corpus) for replay and
+// the FigIngested suite, with cache keys carrying the store's content
+// digest.
+//
+// Deprecated: use SetInput(rnuca.FromCorpus(st, ref)).
+func (c *Campaign) UseCorpus(st *corpus.Store, ref string) (rnuca.Workload, error) {
+	return c.SetInput(rnuca.FromCorpus(st, ref))
 }
 
 // SetResultCache attaches a shared memoized result cache (see
 // internal/resultcache): every simulation the campaign runs is keyed by
-// (design, corpus digest or canonical workload spec, canonical options)
-// and consulted there before running, so repeated figure builds over an
-// unchanged corpus — in this process or any other holder of the same
-// cache, like the rnuca-serve job service — perform zero simulation.
+// its cell's canonical job encoding and consulted there before running,
+// so repeated figure builds over an unchanged corpus — in this process
+// or any other holder of the same cache, like the rnuca-serve job
+// service — perform zero simulation.
 func (c *Campaign) SetResultCache(rc *resultcache.Cache) { c.rcache = rc }
 
-// UseCorpus registers a stored corpus (internal/corpus) for replay and
-// the FigIngested suite, like UseIngested, with cache keys carrying the
-// store's content digest — the strongest identity a result cache can
-// key a trace-backed simulation by.
-func (c *Campaign) UseCorpus(st *corpus.Store, ref string) (rnuca.Workload, error) {
-	ent, err := st.Get(ref)
-	if err != nil {
-		return rnuca.Workload{}, err
+// input returns the registered input for a workload, falling back to
+// its statistical generator.
+func (c *Campaign) input(w rnuca.Workload) rnuca.Input {
+	if in, ok := c.inputs[w.Name]; ok {
+		return in
 	}
-	path := st.Path(ent.Digest)
-	w, err := rnuca.TraceWorkload(path)
-	if err != nil {
-		return rnuca.Workload{}, err
-	}
-	c.traces[w.Name] = traceSource{path: path, digest: ent.Digest}
-	c.ingested[w.Name] = w
-	return w, nil
+	return rnuca.FromWorkload(w)
 }
 
-// run dispatches one workload x design simulation to the generator or to
-// a registered trace, through the shared result cache when one is
-// attached.
+// cellJob assembles the canonical job for one campaign cell, applying
+// the campaign's decode sharding to replay inputs.
+func (c *Campaign) cellJob(in rnuca.Input, opt rnuca.Options, ids ...rnuca.DesignID) rnuca.Job {
+	if in.Replays() && c.Shards > 0 {
+		in = in.Sharded(c.Shards)
+	}
+	j := rnuca.Job{Input: in, Designs: ids, Options: rnuca.RunOptions{
+		Warm:               opt.Warm,
+		Measure:            opt.Measure,
+		Batches:            opt.Batches,
+		InstrClusterSize:   opt.InstrClusterSize,
+		PrivateClusterSize: opt.PrivateClusterSize,
+		Config:             opt.Config,
+	}}
+	if c.gauge != nil {
+		j.Options.Progress = c.gauge.Observe
+	}
+	return j
+}
+
+// run dispatches one workload x design simulation to the registered
+// input (or the generator), through the shared result cache when one
+// is attached.
 func (c *Campaign) run(w rnuca.Workload, id rnuca.DesignID, opt rnuca.Options) rnuca.Result {
-	if ts, ok := c.traces[w.Name]; ok {
-		opt = c.traceOpts(ts, opt)
-		return c.cached(w, string(id), opt, func() (rnuca.Result, error) {
-			return rnuca.Replay(ts.path, id, opt)
-		})
-	}
-	return c.cached(w, string(id), opt, func() (rnuca.Result, error) {
-		return rnuca.Run(w, id, opt), nil
-	})
+	job := c.cellJob(c.input(w), opt, id)
+	return c.cached(w.Name, string(id), job, job.Run)
 }
 
-// cached runs compute through the shared result cache when one is
-// attached and the cell is keyable; errors panic exactly as the
-// uncached paths always have.
-func (c *Campaign) cached(w rnuca.Workload, designKey string, opt rnuca.Options, compute func() (rnuca.Result, error)) rnuca.Result {
-	key, ok := c.cellKey(w, designKey, opt)
-	if c.rcache == nil || !ok {
-		r, err := compute()
+// cached runs one cell through the shared result cache when one is
+// attached and the cell is keyable; errors (cancellation included)
+// panic exactly as the uncached paths always have. keyJob must be the
+// cell's canonical job — run may differ only in ways that cannot
+// change the Result (a Maker realizing the keyed methodology).
+func (c *Campaign) cached(workloadName, designKey string, keyJob rnuca.Job, run func(context.Context) (rnuca.Result, error)) rnuca.Result {
+	fail := func(err error) {
+		panic(fmt.Sprintf("experiments: %s on %s: %v", designKey, workloadName, err))
+	}
+	// A fresh cell starts a fresh gauge window; cache hits return
+	// before any engine reports, so the watcher just sees the next
+	// running cell.
+	resetGauge := func() {
+		if c.gauge != nil {
+			c.gauge.Reset()
+		}
+	}
+	key, keyable := resultcache.JobKey(keyJob)
+	if c.rcache == nil || !keyable {
+		resetGauge()
+		r, err := run(c.ctx())
 		if err != nil {
-			panic(fmt.Sprintf("experiments: %s on %s: %v", designKey, w.Name, err))
+			fail(err)
 		}
 		return r
 	}
-	v, _, err := c.rcache.Do(context.Background(), key, func(context.Context) (any, error) {
-		return compute()
+	v, _, err := c.rcache.Do(c.ctx(), key, func(fctx context.Context) (any, error) {
+		resetGauge()
+		r, err := run(fctx)
+		if err != nil {
+			return nil, err
+		}
+		// A canceled flight holds a partial result; it must never
+		// enter the cache.
+		if fctx.Err() != nil {
+			return nil, fctx.Err()
+		}
+		return r, nil
 	})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s on %s: %v", designKey, w.Name, err))
+		fail(err)
 	}
 	return v.(rnuca.Result)
-}
-
-// cellKey builds the resultcache key for one campaign cell. Trace-backed
-// workloads key by content digest (hashed lazily and memoized when the
-// registration did not carry one); generated workloads key by their
-// canonical spec.
-func (c *Campaign) cellKey(w rnuca.Workload, designKey string, opt rnuca.Options) (string, bool) {
-	if c.rcache == nil {
-		return "", false
-	}
-	var source string
-	if ts, ok := c.traces[w.Name]; ok {
-		if ts.digest == "" {
-			d, err := resultcache.HashFile(ts.path)
-			if err != nil {
-				return "", false
-			}
-			ts.digest = d
-			c.traces[w.Name] = ts
-		}
-		source = resultcache.CorpusSource(ts.digest)
-	} else {
-		var ok bool
-		if source, ok = resultcache.WorkloadSource(w); !ok {
-			return "", false
-		}
-	}
-	return resultcache.Key(designKey, source, opt)
-}
-
-// traceOpts applies a registered trace's window and the campaign's
-// decode sharding to one replay's options.
-func (c *Campaign) traceOpts(ts traceSource, opt rnuca.Options) rnuca.Options {
-	opt.WindowStart, opt.WindowRefs = ts.start, ts.refs
-	opt.Shards = c.Shards
-	return opt
 }
 
 func (c *Campaign) opts() rnuca.Options {
@@ -235,25 +274,16 @@ func (c *Campaign) Result(w rnuca.Workload, id rnuca.DesignID) rnuca.Result {
 	return r
 }
 
-// runAdaptiveASR runs the cheap single-variant ASR (Scale.ASRBest off),
-// replaying when a trace is registered so the methodology matches the
-// generator path. Full-methodology ASR goes through c.run, where both
-// rnuca.Run and rnuca.Replay apply the best-of-six sweep.
+// runAdaptiveASR runs the cheap single-variant ASR (Scale.ASRBest off):
+// a Maker job pinning the adaptive controller, keyed under the
+// "A/adaptive" methodology label — the single-variant result differs
+// from the best-of-six "A" cell, so they must not share an entry.
 func (c *Campaign) runAdaptiveASR(w rnuca.Workload, opt rnuca.Options) rnuca.Result {
-	// The cache key carries the methodology ("A/adaptive"): the
-	// single-variant result differs from the best-of-six "A" cell.
-	mk := func(ch *sim.Chassis) sim.Design { return rnuca.NewDesign(rnuca.DesignASR, ch) }
-	if ts, ok := c.traces[w.Name]; ok {
-		opt = c.traceOpts(ts, opt)
-		return c.cached(w, "A/adaptive", opt, func() (rnuca.Result, error) {
-			return rnuca.ReplayWith(ts.path, opt, mk)
-		})
-	}
-	cfg := rnuca.ConfigFor(w)
-	opt.Config = &cfg
-	return c.cached(w, "A/adaptive", opt, func() (rnuca.Result, error) {
-		return rnuca.RunWith(w, opt, mk), nil
-	})
+	in := c.input(w)
+	keyJob := c.cellJob(in, opt, rnuca.DesignID("A/adaptive"))
+	runJob := c.cellJob(in, opt)
+	runJob.Maker = func(ch *sim.Chassis) sim.Design { return rnuca.NewDesign(rnuca.DesignASR, ch) }
+	return c.cached(w.Name, "A/adaptive", keyJob, runJob.Run)
 }
 
 // RNUCAWithClusterSize returns (running on demand) R-NUCA with the given
@@ -274,33 +304,54 @@ func (c *Campaign) RNUCAWithClusterSize(w rnuca.Workload, size int) rnuca.Result
 	return r
 }
 
+// checkCtx aborts an analysis loop once the campaign's context ends,
+// through the campaign's panic convention.
+func (c *Campaign) checkCtx(what string) {
+	if err := c.ctx().Err(); err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", what, err))
+	}
+}
+
+// ctxCheckEvery paces context polls in analysis loops: frequent enough
+// that cancellation lands within milliseconds, rare enough to stay
+// invisible next to the per-reference work.
+const ctxCheckEvery = 1 << 13
+
 // analyze feeds TraceRefs references of a workload through a fresh
-// analyzer — from the registered trace when one exists (re-reading it,
-// or its registered window, as often as needed to reach the count),
-// from the generator otherwise. Windowed traces are read through the
-// chunk index, so sampling a region never scans the file's front.
+// analyzer — from the registered input when one replays a trace
+// (re-reading it, or its registered window, as often as needed to
+// reach the count), from the generator otherwise. Windowed traces are
+// read through the chunk index, so sampling a region never scans the
+// file's front.
 func (c *Campaign) analyze(w rnuca.Workload) *trace.Analyzer {
 	an := trace.NewAnalyzer(w.Cores)
-	ts, ok := c.traces[w.Name]
-	if !ok {
+	in, ok := c.inputs[w.Name]
+	if !ok || !in.Replays() {
 		src := workload.Source(w)
 		for i := 0; i < c.Scale.TraceRefs; i++ {
+			if i%ctxCheckEvery == 0 {
+				c.checkCtx("analyzing " + w.Name)
+			}
 			r, _ := src.Next()
 			an.Observe(r)
 		}
 		return an
 	}
-	if ts.start > 0 || ts.refs > 0 {
-		c.analyzeWindow(ts, an)
+	path := in.TracePath()
+	if start, refs := in.WindowRange(); start > 0 || refs > 0 {
+		c.analyzeWindow(path, start, refs, an)
 		return an
 	}
 	for seen := 0; seen < c.Scale.TraceRefs; {
-		f, err := tracefile.Open(ts.path)
+		f, err := tracefile.Open(path)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+			panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
 		}
 		n := 0
 		for seen < c.Scale.TraceRefs {
+			if seen%ctxCheckEvery == 0 {
+				c.checkCtx("analyzing " + path)
+			}
 			r, ok := f.Next()
 			if !ok {
 				break
@@ -311,10 +362,10 @@ func (c *Campaign) analyze(w rnuca.Workload) *trace.Analyzer {
 		}
 		f.Close()
 		if err := f.Err(); err != nil {
-			panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+			panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
 		}
 		if n == 0 {
-			panic(fmt.Sprintf("experiments: trace %s holds no refs", ts.path))
+			panic(fmt.Sprintf("experiments: trace %s holds no refs", path))
 		}
 	}
 	return an
@@ -322,28 +373,30 @@ func (c *Campaign) analyze(w rnuca.Workload) *trace.Analyzer {
 
 // analyzeWindow feeds TraceRefs references of a registered trace window
 // through the analyzer, looping the window's cursor as needed.
-func (c *Campaign) analyzeWindow(ts traceSource, an *trace.Analyzer) {
-	x, err := tracefile.OpenIndexed(ts.path)
+func (c *Campaign) analyzeWindow(path string, start, refs uint64, an *trace.Analyzer) {
+	x, err := tracefile.OpenIndexed(path)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+		panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
 	}
 	defer x.Close()
-	refs := ts.refs
 	if refs == 0 {
-		refs = x.Refs() - ts.start
+		refs = x.Refs() - start
 	}
-	cur, err := x.Window(ts.start, refs)
+	cur, err := x.Window(start, refs)
 	if err != nil || refs == 0 {
-		panic(fmt.Sprintf("experiments: analyzing %s window [%d,+%d): %v", ts.path, ts.start, ts.refs, err))
+		panic(fmt.Sprintf("experiments: analyzing %s window [%d,+%d): %v", path, start, refs, err))
 	}
 	for seen := 0; seen < c.Scale.TraceRefs; {
+		if seen%ctxCheckEvery == 0 {
+			c.checkCtx("analyzing " + path)
+		}
 		r, ok := cur.Next()
 		if !ok {
 			if err := cur.Err(); err != nil {
-				panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+				panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
 			}
 			if err := cur.Rewind(); err != nil {
-				panic(fmt.Sprintf("experiments: analyzing %s: %v", ts.path, err))
+				panic(fmt.Sprintf("experiments: analyzing %s: %v", path, err))
 			}
 			continue
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rnuca"
+	"rnuca/internal/sim"
 )
 
 // N concurrent Do calls for one key run the computation exactly once,
@@ -200,69 +201,83 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
-// Keys canonicalize: result-neutral options (Shards, Progress) are
-// excluded, result-relevant ones are not, and a Source closure defeats
-// caching.
-func TestKeyCanonicalization(t *testing.T) {
-	base := rnuca.Options{Warm: 100, Measure: 200}
-	k1, ok := Key("R", CorpusSource("abc"), base)
-	if !ok {
-		t.Fatal("base options not cacheable")
+// Keys canonicalize: result-neutral knobs (Sharded, Progress) are
+// excluded by construction, result-relevant ones are not, and jobs
+// with no canonical encoding (source inputs, Maker jobs, unbound
+// corpus names) defeat caching.
+func TestJobKeyCanonicalization(t *testing.T) {
+	dig := strings.Repeat("ab", 32)
+	cellJob := func(in rnuca.Input, design rnuca.DesignID, o rnuca.RunOptions) rnuca.Job {
+		return rnuca.Job{Input: in, Designs: []rnuca.DesignID{design}, Options: o}
 	}
+	base := cellJob(rnuca.FromCorpusRef(dig), "R", rnuca.RunOptions{Warm: 100, Measure: 200})
+	k1, ok := JobKey(base)
+	if !ok {
+		t.Fatal("base job not cacheable")
+	}
+
 	sharded := base
-	sharded.Shards = 8
-	sharded.Progress = func(done, total int) bool { return true }
-	k2, ok := Key("R", CorpusSource("abc"), sharded)
+	sharded.Input = rnuca.FromCorpusRef(dig).Sharded(8)
+	sharded.Options.Progress = func(done, total int) {}
+	k2, ok := JobKey(sharded)
 	if !ok || k2 != k1 {
 		t.Fatalf("sharded key %q != sequential %q", k2, k1)
 	}
-	batch0, _ := Key("R", CorpusSource("abc"), base)
+
 	b := base
-	b.Batches = 1
-	batch1, _ := Key("R", CorpusSource("abc"), b)
-	if batch0 != batch1 {
+	b.Options.Batches = 1
+	if batch1, _ := JobKey(b); batch1 != k1 {
 		t.Fatal("Batches 0 and 1 should share a key")
 	}
-	for i, vary := range []rnuca.Options{
-		{Warm: 101, Measure: 200},
-		{Warm: 100, Measure: 201},
-		{Warm: 100, Measure: 200, Batches: 3},
-		{Warm: 100, Measure: 200, InstrClusterSize: 8},
-		{Warm: 100, Measure: 200, PrivateClusterSize: 4},
-		{Warm: 100, Measure: 200, WindowStart: 5, WindowRefs: 50},
+
+	for i, vary := range []rnuca.Job{
+		cellJob(rnuca.FromCorpusRef(dig), "R", rnuca.RunOptions{Warm: 101, Measure: 200}),
+		cellJob(rnuca.FromCorpusRef(dig), "R", rnuca.RunOptions{Warm: 100, Measure: 201}),
+		cellJob(rnuca.FromCorpusRef(dig), "R", rnuca.RunOptions{Warm: 100, Measure: 200, Batches: 3}),
+		cellJob(rnuca.FromCorpusRef(dig), "R", rnuca.RunOptions{Warm: 100, Measure: 200, InstrClusterSize: 8}),
+		cellJob(rnuca.FromCorpusRef(dig), "R", rnuca.RunOptions{Warm: 100, Measure: 200, PrivateClusterSize: 4}),
+		cellJob(rnuca.FromCorpusRef(dig).Window(5, 50), "R", rnuca.RunOptions{Warm: 100, Measure: 200}),
+		cellJob(rnuca.FromCorpusRef(dig), "P", rnuca.RunOptions{Warm: 100, Measure: 200}),
+		cellJob(rnuca.FromCorpusRef(dig), "A/adaptive", rnuca.RunOptions{Warm: 100, Measure: 200}),
+		cellJob(rnuca.FromCorpusRef(strings.Repeat("cd", 32)), "R", rnuca.RunOptions{Warm: 100, Measure: 200}),
 	} {
-		kv, ok := Key("R", CorpusSource("abc"), vary)
+		kv, ok := JobKey(vary)
 		if !ok || kv == k1 {
 			t.Fatalf("variant %d did not change the key", i)
 		}
 	}
-	if kd, _ := Key("P", CorpusSource("abc"), base); kd == k1 {
-		t.Fatal("design does not change the key")
+
+	src := cellJob(rnuca.FromSource(func(batch int) rnuca.RefSource { return nil }), "R", rnuca.RunOptions{})
+	if _, ok := JobKey(src); ok {
+		t.Fatal("source input must defeat caching")
 	}
-	if ks, _ := Key("R", CorpusSource("other"), base); ks == k1 {
-		t.Fatal("source does not change the key")
+	maker := base
+	maker.Maker = func(ch *sim.Chassis) sim.Design { return nil }
+	if _, ok := JobKey(maker); ok {
+		t.Fatal("Maker job must defeat caching")
 	}
-	withSrc := base
-	withSrc.Source = func(batch int) rnuca.RefSource { return nil }
-	if _, ok := Key("R", CorpusSource("abc"), withSrc); ok {
-		t.Fatal("Source closure must defeat caching")
+	unbound := cellJob(rnuca.FromCorpusRef("some-name"), "R", rnuca.RunOptions{})
+	if _, ok := JobKey(unbound); ok {
+		t.Fatal("unresolved corpus name must defeat caching")
 	}
 }
 
-// Workload sources distinguish any spec difference.
-func TestWorkloadSource(t *testing.T) {
-	a, ok := WorkloadSource(rnuca.OLTPDB2())
+// Workload-backed jobs distinguish any spec difference.
+func TestWorkloadJobKey(t *testing.T) {
+	job := func(w rnuca.Workload) rnuca.Job {
+		return rnuca.Job{Input: rnuca.FromWorkload(w), Designs: []rnuca.DesignID{"R"}}
+	}
+	a, ok := JobKey(job(rnuca.OLTPDB2()))
 	if !ok {
 		t.Fatal("spec not canonicalizable")
 	}
 	reseeded := rnuca.OLTPDB2()
 	reseeded.Seed++
-	b, _ := WorkloadSource(reseeded)
-	if a == b {
-		t.Fatal("seed does not change the source")
+	if b, _ := JobKey(job(reseeded)); a == b {
+		t.Fatal("seed does not change the key")
 	}
-	if c, _ := WorkloadSource(rnuca.Apache()); c == a {
-		t.Fatal("workload does not change the source")
+	if c, _ := JobKey(job(rnuca.Apache())); c == a {
+		t.Fatal("workload does not change the key")
 	}
 }
 

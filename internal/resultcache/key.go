@@ -1,111 +1,60 @@
 package resultcache
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
-	"fmt"
-	"io"
-	"os"
 
 	"rnuca"
-	"rnuca/internal/sim"
 )
 
-// Cache-key canonicalization. A key names one simulation cell:
+// Cache-key canonicalization. A key names one simulation cell, and it
+// is nothing more than the canonical JSON encoding of a single-design
+// rnuca.Job (see rnuca.Job.MarshalJSON):
 //
-//	design "|" source "|" options
+//	"job|" + canonical-job-JSON
 //
-// where design is the DesignID (with a "/adaptive" suffix for the
-// single-variant ASR methodology, which yields different results than
-// the paper's best-of-six), source identifies the reference stream
-// (CorpusSource for trace-backed runs, WorkloadSource for generated
-// ones), and options is the canonical JSON of the result-relevant
-// Options fields. Two calls with equal keys are guaranteed to produce
-// bit-identical Results, because everything the simulation depends on
-// is either in the key or deterministic:
+// Two calls with equal keys are guaranteed to produce bit-identical
+// Results because the canonical encoding is key-stable by
+// construction — everything that can change a Result is inside it,
+// and everything that provably cannot is excluded at the source
+// rather than by a hand-maintained exclusion list here:
 //
-//   - Shards is EXCLUDED: sharded replay is bit-identical to sequential
-//     (only chunk decompression is parallelized, consumption order is
-//     preserved), so both populate and hit the same entry.
-//   - Progress is EXCLUDED: the callback observes the run, it cannot
-//     perturb the deterministic timing model.
-//   - Warm/Measure/Batches are included as given, zeros unresolved: 0
-//     means "the default split", which is itself a deterministic
-//     function of the source, so "0" and the spelled-out default are
-//     distinct keys for identical results — a missed dedup, never a
-//     wrong hit.
-//   - A non-nil Source closure makes the options uncanonicalizable;
-//     Key reports ok=false and the caller must skip the cache.
+//   - Input.Sharded is not serialized: sharded replay is bit-identical
+//     to sequential (only chunk decompression is parallelized,
+//     consumption order is preserved), so both populate and hit the
+//     same entry.
+//   - RunOptions.Progress is not serialized: the callback observes the
+//     run, it cannot perturb the deterministic timing model.
+//   - Trace- and corpus-backed inputs both encode as the content
+//     digest, so a path-backed replay hits the entry a store-backed
+//     one populated (and vice versa).
+//   - Warm/Measure are encoded as given, zeros unresolved: 0 means
+//     "the default split", itself a deterministic function of the
+//     source, so "0" and the spelled-out default are distinct keys for
+//     identical results — a missed dedup, never a wrong hit.
+//   - Source-backed inputs, Maker jobs, and unresolved corpus names
+//     have no canonical encoding; JobKey reports ok=false and the
+//     caller must skip the cache.
+//
+// Methodology variants that share a DesignID but differ in results
+// (the campaign's single-variant ASR versus the paper's best-of-six)
+// key under a distinct design label ("A/adaptive") in the job's
+// Designs list — the label never executes, it only names the cell.
 
-// canonOptions is the result-relevant Options subset in fixed field
-// order.
-type canonOptions struct {
-	Warm               int         `json:"w"`
-	Measure            int         `json:"m"`
-	Batches            int         `json:"b"`
-	InstrClusterSize   int         `json:"ics,omitempty"`
-	PrivateClusterSize int         `json:"pcs,omitempty"`
-	WindowStart        uint64      `json:"ws,omitempty"`
-	WindowRefs         uint64      `json:"wr,omitempty"`
-	Config             *sim.Config `json:"cfg,omitempty"`
-}
-
-// Key builds the canonical cache key for one simulation cell. ok is
-// false when the options cannot be canonicalized (a caller-supplied
-// Source closure feeds the run) and the result must not be cached.
-func Key(design, source string, opt rnuca.Options) (key string, ok bool) {
-	if opt.Source != nil {
-		return "", false
+// JobKey builds the canonical cache key for one simulation cell. ok
+// is false when the job has no canonical encoding and its result must
+// not be cached.
+func JobKey(j rnuca.Job) (key string, ok bool) {
+	if in := j.Input; in.Replays() {
+		// The wire encoding tolerates an unresolved {"ref": name} for
+		// clients posting to a server that owns the store; a cache key
+		// must not — a name is mutable, only content digests are.
+		if _, err := in.Digest(); err != nil {
+			return "", false
+		}
 	}
-	batches := opt.Batches
-	if batches == 0 {
-		batches = 1 // 0 and 1 both mean a single batch
-	}
-	co := canonOptions{
-		Warm:               opt.Warm,
-		Measure:            opt.Measure,
-		Batches:            batches,
-		InstrClusterSize:   opt.InstrClusterSize,
-		PrivateClusterSize: opt.PrivateClusterSize,
-		WindowStart:        opt.WindowStart,
-		WindowRefs:         opt.WindowRefs,
-		Config:             opt.Config,
-	}
-	b, err := json.Marshal(co)
+	b, err := json.Marshal(j)
 	if err != nil {
 		return "", false
 	}
-	return design + "|" + source + "|" + string(b), true
-}
-
-// CorpusSource names a content-addressed corpus as a key source.
-func CorpusSource(digest string) string { return "corpus:sha256:" + digest }
-
-// WorkloadSource canonicalizes a workload spec as a key source: the
-// full spec JSON, so any field that shapes generation (footprints,
-// skews, seed, migration) distinguishes the key.
-func WorkloadSource(w rnuca.Workload) (string, bool) {
-	b, err := json.Marshal(w)
-	if err != nil {
-		return "", false
-	}
-	return "workload:" + string(b), true
-}
-
-// HashFile returns the lowercase hex SHA-256 of a file's contents — the
-// digest under which the corpus store (internal/corpus) addresses it.
-// It lets UseTrace-style callers key trace-backed results by content
-// when the trace never entered a store.
-func HashFile(path string) (string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return "", fmt.Errorf("resultcache: %w", err)
-	}
-	defer f.Close()
-	h := sha256.New()
-	if _, err := io.Copy(h, f); err != nil {
-		return "", fmt.Errorf("resultcache: hashing %s: %w", path, err)
-	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return "job|" + string(b), true
 }

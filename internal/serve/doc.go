@@ -8,18 +8,17 @@
 //
 // # Job API
 //
-// POST /v1/jobs submits a JobSpec and returns 202 with the job's
-// status; GET /v1/jobs/{id} polls it; DELETE cancels. Kinds:
+// POST /v1/jobs submits a job and returns 202 with its status;
+// GET /v1/jobs/{id} polls it; DELETE cancels. The canonical
+// simulation payload is an rnuca.Job encoding — the service defines
+// no parallel spec structs, so what the library runs is exactly what
+// crosses the wire, and the result cache keys by the same bytes:
 //
-//	run      simulate a catalog workload on one design
-//	         {"kind":"run","workload":"OLTP-DB2","design":"R",
-//	          "options":{"warm":200000,"measure":400000}}
-//	replay   replay a stored corpus on one design (design defaults to
-//	         the corpus's recording design)
-//	         {"kind":"replay","corpus":"<digest|name>","design":"R"}
-//	compare  the Figure 12 sweep over several designs, from a corpus
-//	         or a catalog workload
-//	         {"kind":"compare","corpus":"oltp","designs":["P","R"]}
+//	sim      a canonical rnuca.Job, inline (kind "sim" implied) or
+//	         nested under "job"
+//	         {"input":{"corpus":{"ref":"oltp"}},"designs":["R"],
+//	          "options":{"warm":200000,"measure":400000,"batches":1}}
+//	         {"input":{"workload":"OLTP-DB2"},"designs":["P","R"]}
 //	convert  ingest foreign traces (Dinero/ChampSim/CSV) into the
 //	         corpus store; inputs must live under the configured
 //	         ingest directory (-ingest) — the API is unauthenticated,
@@ -27,32 +26,44 @@
 //	         {"kind":"convert","convert":{"inputs":["/ingest/a.din"]}}
 //	figure   the ingested-corpus table suite (Figure 2–5 analyses +
 //	         Figure 12 comparison) over stored corpora
-//	         {"kind":"figure","corpora":["oltp"],"options":
-//	          {"trace_refs":150000}}
+//	         {"kind":"figure","figure":{"corpora":["oltp"],
+//	          "scale":{"trace_refs":150000}}}
 //
-// Specs are validated at submission: unknown workloads, designs, or
-// corpus references are rejected with 400 before anything queues.
+// Workload inputs accept a catalog name or a full spec; corpus inputs
+// accept a digest, unique digest prefix, or store name, resolved (and
+// pinned to the content digest) at submission. Multi-design sim jobs
+// are the Figure 12 sweep. The pre-v2 shapes — {"kind":"run"/
+// "replay"/"compare", "workload"/"corpus"/"design(s)", flat
+// "options"} — are still accepted for one release, translated onto an
+// rnuca.Job at decode, and keyed identically to their canonical
+// twins. Specs are validated at submission: unknown workloads,
+// designs, corpus references, and negative options are rejected with
+// 400 before anything queues.
 //
 // # Progress and cancellation
 //
-// Every job carries a context.Context. Queued jobs cancel instantly;
-// running run/replay/compare jobs stop at the engine's next progress
-// observation (a few thousand simulated references — see
-// sim.Engine.Progress); convert and figure jobs check their context
-// between pipeline stages. GET /v1/jobs/{id}/events (or Accept:
-// text/event-stream on the job URL) streams SSE "status" events — with
-// live done_refs/total_refs from the engine's progress hook — and one
-// final "done" event carrying the terminal status and result.
+// Every job carries a context.Context, which is the library's own
+// cancellation path (rnuca.Job.Run): queued jobs cancel instantly;
+// running simulations stop at the engine's next progress observation
+// (a few thousand simulated references); figure jobs thread the
+// context through experiments.Campaign.SetContext and cancel
+// mid-simulation, not just between stages; convert jobs check between
+// pipeline stages. GET /v1/jobs/{id}/events (or Accept:
+// text/event-stream on the job URL) streams SSE "status" events —
+// with live done_refs/total_refs from the pure-observation
+// RunOptions.Progress hook — and one final "done" event carrying the
+// terminal status and result.
 //
 // # Result cache
 //
-// Every simulation cell is keyed by (design, corpus content digest or
-// canonical workload spec, canonicalized options) — see
-// internal/resultcache for the exact rules (decode sharding and
-// progress observation are excluded; they cannot change results).
-// Identical in-flight requests share one computation (singleflight);
-// finished cells serve from an LRU. Figure builds additionally memoize
-// the whole rendered table set under the digest list + scale, and the
+// Every simulation cell is keyed by the canonical JSON encoding of
+// its single-design rnuca.Job (see internal/resultcache): knobs that
+// provably cannot change results (decode sharding, progress
+// observation) are excluded from the encoding by construction, so a
+// sharded replay hits the entry a sequential one populated. Identical
+// in-flight requests share one computation (singleflight); finished
+// cells serve from an LRU. Figure builds additionally memoize the
+// whole rendered table set under the digest list + scale, and the
 // campaign inside shares the same cell cache, so a repeated figure
 // build over an unchanged corpus performs zero simulation. A canceled
 // computation is never cached.

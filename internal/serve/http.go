@@ -70,6 +70,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		if err := json.NewDecoder(body).Decode(&spec); err != nil {
+			// Decode failures (malformed JSON, unknown kinds, legacy
+			// shapes naming unknown workloads) are rejections too.
+			s.mRejected.Add(1)
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 			return
 		}
@@ -194,7 +197,9 @@ func (s *Server) handleCorpora(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"corpora": ents})
-	case http.MethodPost:
+	case http.MethodPost, http.MethodPut:
+		// PUT is what `curl -T trace.rnt .../v1/corpora?name=x` sends;
+		// uploads are content-addressed so both verbs mean the same.
 		body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
 		ent, added, err := s.cfg.Store.AddReader(body, r.URL.Query().Get("name"))
 		if err != nil {
@@ -208,8 +213,8 @@ func (s *Server) handleCorpora(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Location", "/v1/corpora/"+ent.Digest)
 		writeJSON(w, code, ent)
 	default:
-		w.Header().Set("Allow", "GET, POST")
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		w.Header().Set("Allow", "GET, POST, PUT")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET, POST, or PUT"))
 	}
 }
 

@@ -4,15 +4,16 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"rnuca"
 	"rnuca/internal/corpus"
+	"rnuca/internal/experiments"
 	"rnuca/internal/ingest"
 	"rnuca/internal/report"
 	"rnuca/internal/workload"
@@ -35,82 +36,254 @@ func (s JobState) terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
-// JobSpec is the request body of POST /v1/jobs. Kind selects the work;
-// the other fields apply per kind (see doc.go for the full schema).
+// JobSpec is the request body of POST /v1/jobs.
+//
+// The canonical simulation payload is an rnuca.Job encoding (see
+// rnuca.Job.MarshalJSON) — either inline at the top level (any body
+// carrying an "input" key; "kind":"sim" is implied) or nested under
+// "job". The service defines no simulation spec of its own: what the
+// library runs is exactly what crosses the wire, and the result cache
+// keys by the same bytes.
+//
+//	{"input":{"corpus":{"ref":"oltp"}},"designs":["R"],
+//	 "options":{"warm":2000,"measure":4000,"batches":1}}
+//
+// Convert and figure jobs — service-side pipelines, not single
+// simulations — keep kind-based spec objects.
+//
+// The pre-v2 shapes ({"kind":"run","workload":...,"design":...,
+// "options":{...}} and friends) are still accepted for one release
+// and are translated onto an rnuca.Job at decode; their kind label is
+// preserved in job statuses.
 type JobSpec struct {
-	// Kind is one of "run", "replay", "compare", "convert", "figure".
-	Kind string `json:"kind"`
-	// Design is the design a run/replay job simulates ("P", "A", "S",
-	// "R", "I"); replay defaults to the corpus's recording design, run
-	// to "R".
-	Design string `json:"design,omitempty"`
-	// Designs are the designs a compare job sweeps (default: all five,
-	// in the paper's order).
-	Designs []string `json:"designs,omitempty"`
-	// Workload names a catalog workload (run, and compare without a
-	// corpus).
-	Workload string `json:"workload,omitempty"`
-	// Corpus references a stored corpus — digest, unique digest prefix,
-	// or name (replay, and compare over a trace).
-	Corpus string `json:"corpus,omitempty"`
-	// Corpora are the stored corpora a figure job builds tables over.
-	Corpora []string `json:"corpora,omitempty"`
-	// Options tunes the simulation (all kinds but convert).
-	Options JobOptions `json:"options"`
+	// Kind is "sim" for canonical simulation payloads, "convert" or
+	// "figure" for the service pipelines, or a legacy label ("run",
+	// "replay", "compare") preserved from a pre-v2 submission.
+	Kind string
+	// Job is the simulation request (kinds sim/run/replay/compare).
+	Job *rnuca.Job
 	// Convert configures a convert job.
-	Convert *ConvertSpec `json:"convert,omitempty"`
+	Convert *ConvertSpec
+	// Figure configures a figure job.
+	Figure *FigureSpec
 }
 
-// JobOptions is the JSON view of the result-relevant rnuca.Options,
-// plus the figure-scale fields.
-type JobOptions struct {
-	Warm               int    `json:"warm,omitempty"`
-	Measure            int    `json:"measure,omitempty"`
-	Batches            int    `json:"batches,omitempty"`
-	InstrClusterSize   int    `json:"instr_cluster_size,omitempty"`
-	PrivateClusterSize int    `json:"private_cluster_size,omitempty"`
-	Shards             int    `json:"shards,omitempty"`
-	WindowStart        uint64 `json:"window_start,omitempty"`
-	WindowRefs         uint64 `json:"window_refs,omitempty"`
-	// TraceRefs sizes a figure job's §3 characterization analyses;
-	// ASRBest selects the paper's best-of-six ASR methodology there.
-	TraceRefs int  `json:"trace_refs,omitempty"`
-	ASRBest   bool `json:"asr_best,omitempty"`
+// legacySpec is the pre-v2 wire shape, kept only to decode
+// one-release-compat submissions; it is not used anywhere else.
+type legacySpec struct {
+	Design   string        `json:"design"`
+	Designs  []string      `json:"designs"`
+	Workload string        `json:"workload"`
+	Corpus   string        `json:"corpus"`
+	Corpora  []string      `json:"corpora"`
+	Options  legacyOptions `json:"options"`
 }
 
-// validate range-checks the options: the library treats zero as "use
-// the default" but panics on (or silently misbehaves with) negative
-// values, and an unauthenticated API must reject them with a 400, not
-// a crashed worker.
-func (o JobOptions) validate() error {
-	for _, f := range []struct {
-		name string
-		v    int
-	}{
-		{"warm", o.Warm}, {"measure", o.Measure}, {"batches", o.Batches},
-		{"instr_cluster_size", o.InstrClusterSize},
-		{"private_cluster_size", o.PrivateClusterSize},
-		{"shards", o.Shards}, {"trace_refs", o.TraceRefs},
-	} {
-		if f.v < 0 {
-			return fmt.Errorf("options.%s must not be negative (got %d)", f.name, f.v)
-		}
-	}
-	return nil
+// legacyOptions is the pre-v2 flat options object.
+type legacyOptions struct {
+	Warm               int    `json:"warm"`
+	Measure            int    `json:"measure"`
+	Batches            int    `json:"batches"`
+	InstrClusterSize   int    `json:"instr_cluster_size"`
+	PrivateClusterSize int    `json:"private_cluster_size"`
+	Shards             int    `json:"shards"`
+	WindowStart        uint64 `json:"window_start"`
+	WindowRefs         uint64 `json:"window_refs"`
+	TraceRefs          int    `json:"trace_refs"`
+	ASRBest            bool   `json:"asr_best"`
 }
 
-// options converts to library options.
-func (o JobOptions) options() rnuca.Options {
-	return rnuca.Options{
+// runOptions lowers the legacy flat options onto rnuca.RunOptions.
+func (o legacyOptions) runOptions() rnuca.RunOptions {
+	return rnuca.RunOptions{
 		Warm:               o.Warm,
 		Measure:            o.Measure,
 		Batches:            o.Batches,
 		InstrClusterSize:   o.InstrClusterSize,
 		PrivateClusterSize: o.PrivateClusterSize,
-		Shards:             o.Shards,
-		WindowStart:        o.WindowStart,
-		WindowRefs:         o.WindowRefs,
 	}
+}
+
+// UnmarshalJSON accepts the canonical rnuca.Job encoding (inline or
+// under "job"), the convert/figure spec shapes, and the legacy
+// kind-based shapes.
+func (s *JobSpec) UnmarshalJSON(b []byte) error {
+	var probe struct {
+		Kind    string          `json:"kind"`
+		Input   json.RawMessage `json:"input"`
+		Job     json.RawMessage `json:"job"`
+		Convert *ConvertSpec    `json:"convert"`
+		Figure  *FigureSpec     `json:"figure"`
+		legacySpec
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return err
+	}
+	switch probe.Kind {
+	case "convert":
+		if probe.Convert == nil {
+			return fmt.Errorf("convert job needs a convert spec")
+		}
+		*s = JobSpec{Kind: "convert", Convert: probe.Convert}
+		return nil
+	case "figure":
+		fig := probe.Figure
+		if fig == nil {
+			// Legacy shape: corpora/designs at the top level, scale
+			// fields inside flat options.
+			fig = &FigureSpec{
+				Corpora: probe.Corpora,
+				Designs: probe.Designs,
+				Scale: experiments.Scale{
+					Warm:      probe.Options.Warm,
+					Measure:   probe.Options.Measure,
+					Batches:   probe.Options.Batches,
+					TraceRefs: probe.Options.TraceRefs,
+					ASRBest:   probe.Options.ASRBest,
+				},
+				Shards: probe.Options.Shards,
+			}
+		}
+		*s = JobSpec{Kind: "figure", Figure: fig}
+		return nil
+	case "", "sim", "run", "replay", "compare":
+		kind := probe.Kind
+		if kind == "" {
+			kind = "sim"
+		}
+		// A canonical job — nested under "job" (the status echo shape,
+		// any kind label) or inline at the top level — wins over the
+		// legacy translation, so echoed statuses re-decode.
+		var raw json.RawMessage
+		switch {
+		case probe.Job != nil:
+			raw = probe.Job
+		case probe.Input != nil && (probe.Kind == "" || probe.Kind == "sim"):
+			raw = b
+		case probe.Kind == "run" || probe.Kind == "replay" || probe.Kind == "compare":
+			job, err := legacyJob(probe.Kind, probe.legacySpec)
+			if err != nil {
+				return err
+			}
+			*s = JobSpec{Kind: probe.Kind, Job: job}
+			return nil
+		default:
+			return fmt.Errorf("job spec carries neither an input nor a kind (canonical rnuca.Job JSON, or kind run/replay/compare/convert/figure)")
+		}
+		var job rnuca.Job
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return err
+		}
+		*s = JobSpec{Kind: kind, Job: &job}
+		return nil
+	}
+	return fmt.Errorf("unknown job kind %q (sim, convert, figure; legacy run, replay, compare)", probe.Kind)
+}
+
+// legacyJob translates a pre-v2 run/replay/compare spec onto an
+// rnuca.Job. Corpus references stay unbound (the server binds its
+// store at submit); a replay without an explicit design gets its
+// default — the corpus's recording design — at bind time too.
+func legacyJob(kind string, l legacySpec) (*rnuca.Job, error) {
+	// The pre-v2 validator rejected any negative option with a 400;
+	// most of them flow into rnuca.Job.Validate, but shards and
+	// trace_refs have no RunOptions field, so check them here.
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"shards", l.Options.Shards}, {"trace_refs", l.Options.TraceRefs}} {
+		if f.v < 0 {
+			return nil, fmt.Errorf("options.%s must not be negative (got %d)", f.name, f.v)
+		}
+	}
+	var in rnuca.Input
+	var ids []rnuca.DesignID
+	switch kind {
+	case "run":
+		if l.Workload == "" {
+			return nil, fmt.Errorf("run job needs a workload")
+		}
+		w, ok := workload.ByName(l.Workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", l.Workload)
+		}
+		in = rnuca.FromWorkload(w)
+		// Like the pre-v2 server, run/replay read "design" (run
+		// defaulting to R) and ignore "designs".
+		if l.Design == "" {
+			l.Design = "R"
+		}
+		ids = []rnuca.DesignID{rnuca.DesignID(l.Design)}
+	case "replay":
+		if l.Corpus == "" {
+			return nil, fmt.Errorf("replay job needs a corpus")
+		}
+		in = rnuca.FromCorpusRef(l.Corpus)
+		if l.Design != "" {
+			ids = []rnuca.DesignID{rnuca.DesignID(l.Design)}
+		} // else: the corpus's recording design, resolved at bind
+	case "compare":
+		switch {
+		case l.Corpus != "":
+			in = rnuca.FromCorpusRef(l.Corpus)
+		case l.Workload != "":
+			w, ok := workload.ByName(l.Workload)
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q", l.Workload)
+			}
+			in = rnuca.FromWorkload(w)
+		default:
+			return nil, fmt.Errorf("compare job needs a corpus or a workload")
+		}
+		// Compare reads "designs" (default: all five) and, like the
+		// pre-v2 server, ignores "design".
+		if len(l.Designs) == 0 {
+			ids = rnuca.AllDesigns()
+		}
+		for _, d := range l.Designs {
+			ids = append(ids, rnuca.DesignID(d))
+		}
+	}
+	if in.Replays() {
+		// Window and sharding are replay knobs; the legacy run kind
+		// carried (and ignored) them, so keep ignoring there.
+		if l.Options.WindowStart > 0 || l.Options.WindowRefs > 0 {
+			in = in.Window(l.Options.WindowStart, l.Options.WindowRefs)
+		}
+		if l.Options.Shards > 0 {
+			in = in.Sharded(l.Options.Shards)
+		}
+	}
+	return &rnuca.Job{Input: in, Designs: ids, Options: l.Options.runOptions()}, nil
+}
+
+// MarshalJSON echoes the spec with the simulation job in canonical
+// form under "job". Legacy submissions keep their kind label; their
+// translated (and store-bound) job is echoed so callers see exactly
+// what ran and what the result was keyed by.
+func (s JobSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Kind    string       `json:"kind,omitempty"`
+		Job     *rnuca.Job   `json:"job,omitempty"`
+		Convert *ConvertSpec `json:"convert,omitempty"`
+		Figure  *FigureSpec  `json:"figure,omitempty"`
+	}{s.Kind, s.Job, s.Convert, s.Figure})
+}
+
+// FigureSpec configures a figure job: the ingested-corpus table suite
+// (Figure 2–5 characterization analyses plus the Figure 12 design
+// comparison) over stored corpora. Scale fields left zero take the
+// Quick defaults.
+type FigureSpec struct {
+	// Corpora are the stored corpora the suite is built over.
+	Corpora []string `json:"corpora"`
+	// Designs are the designs the comparison sweeps (default: all
+	// five, in the paper's order).
+	Designs []string `json:"designs,omitempty"`
+	// Scale sizes the build (experiments.Scale).
+	Scale experiments.Scale `json:"scale"`
+	// Shards fans trace decoding per replay (execution hint).
+	Shards int `json:"shards,omitempty"`
 }
 
 // ConvertSpec configures a convert job: ingest foreign trace files
@@ -163,9 +336,9 @@ func (c *ConvertSpec) ingestOptions() (ingest.Options, error) {
 // JobResult is a finished job's payload; which fields are set depends
 // on the kind.
 type JobResult struct {
-	// Result is a run or replay job's measured performance.
+	// Result is a single-design simulation's measured performance.
 	Result *rnuca.Result `json:"result,omitempty"`
-	// Results maps design IDs to results for compare jobs.
+	// Results maps design IDs to results for multi-design jobs.
 	Results map[string]rnuca.Result `json:"results,omitempty"`
 	// Corpus is the store entry a convert job produced.
 	Corpus *corpus.Entry `json:"corpus,omitempty"`
@@ -198,25 +371,21 @@ type JobStatus struct {
 	Spec      JobSpec    `json:"spec"`
 }
 
-// job is the server-side job record.
+// job is the server-side job record. The spec is normalized at
+// submit: simulation jobs carry their store-bound rnuca.Job, figure
+// jobs their resolved corpora, so the executing worker never
+// re-resolves a name that may have moved.
 type job struct {
 	id      string
 	spec    JobSpec
 	created time.Time
 
-	// Resolved at submit so a bad reference fails fast and the
-	// executing worker never re-resolves a name that may have moved.
-	design    rnuca.DesignID
-	designs   []rnuca.DesignID
-	workload  rnuca.Workload
-	tracePath string
-	digest    string
-	corpora   []resolvedCorpus
+	corpora []resolvedCorpus // figure jobs
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	done, total atomic.Int64
+	gauge rnuca.ProgressGauge
 
 	mu       sync.Mutex
 	state    JobState
@@ -244,13 +413,14 @@ func newJobID() string {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	done, total := j.gauge.Progress()
 	st := JobStatus{
 		ID:        j.id,
 		Kind:      j.spec.Kind,
 		State:     j.state,
 		Created:   j.created,
-		DoneRefs:  j.done.Load(),
-		TotalRefs: j.total.Load(),
+		DoneRefs:  done,
+		TotalRefs: total,
 		Error:     j.err,
 		Result:    j.result,
 		Spec:      j.spec,
@@ -286,81 +456,69 @@ func (j *job) finish(state JobState, res *JobResult, err error) {
 	j.mu.Unlock()
 }
 
-// progress returns an rnuca.Options.Progress callback that publishes
-// per-engine counts on the job and stops the engine once ctx ends. It
-// is monotone across the concurrent engines of a batched run: the
-// largest reported count wins.
-func (j *job) progress(ctx context.Context) func(done, total int) bool {
-	return func(done, total int) bool {
-		j.total.Store(int64(total))
-		for {
-			cur := j.done.Load()
-			if int64(done) <= cur || j.done.CompareAndSwap(cur, int64(done)) {
-				break
-			}
-		}
-		return ctx.Err() == nil
-	}
+// observe returns the pure-observation RunOptions.Progress hook that
+// publishes per-engine counts on the job's gauge. Cancellation is not
+// its business anymore: the context passed to Job.Run carries it.
+func (j *job) observe() func(done, total int) {
+	return j.gauge.Observe
+}
+
+// simSpec reports whether a kind executes as a simulation job.
+func simSpec(kind string) bool {
+	return kind == "sim" || kind == "run" || kind == "replay" || kind == "compare"
 }
 
 // validate resolves and checks a spec against the server's catalog and
-// corpus store, filling the job's resolved fields.
+// corpus store, normalizing the job's spec in place.
 func (s *Server) validate(j *job) error {
 	spec := &j.spec
-	if err := spec.Options.validate(); err != nil {
-		return err
-	}
-	switch spec.Kind {
-	case "run":
-		if spec.Workload == "" {
-			return fmt.Errorf("run job needs a workload")
+	switch {
+	case simSpec(spec.Kind):
+		if spec.Job == nil {
+			return fmt.Errorf("%s job carries no simulation", spec.Kind)
 		}
-		w, ok := workload.ByName(spec.Workload)
-		if !ok {
-			return fmt.Errorf("unknown workload %q", spec.Workload)
-		}
-		j.workload = w
-		id, err := parseDesign(spec.Design, "R")
-		if err != nil {
+		job := *spec.Job
+		if err := job.Input.Err(); err != nil {
 			return err
 		}
-		j.design = id
-	case "replay":
-		ent, err := s.resolveCorpus(spec.Corpus)
-		if err != nil {
-			return err
-		}
-		j.tracePath = s.cfg.Store.Path(ent.Digest)
-		j.digest = ent.Digest
-		id, err := parseDesign(spec.Design, ent.Design)
-		if err != nil {
-			return err
-		}
-		j.design = id
-	case "compare":
-		ids, err := parseDesigns(spec.Designs)
-		if err != nil {
-			return err
-		}
-		j.designs = ids
-		if spec.Corpus != "" {
-			ent, err := s.resolveCorpus(spec.Corpus)
-			if err != nil {
+		switch job.Input.Kind() {
+		case rnuca.InputCorpus:
+			if s.cfg.Store == nil {
+				return fmt.Errorf("no corpus store configured (-corpus)")
+			}
+			var err error
+			if job, err = job.Bind(s.cfg.Store); err != nil {
 				return err
 			}
-			j.tracePath = s.cfg.Store.Path(ent.Digest)
-			j.digest = ent.Digest
-			return nil
+			if len(job.Designs) == 0 {
+				// A replay without an explicit design defaults to the
+				// corpus's recording design.
+				digest, err := job.Input.Digest()
+				if err != nil {
+					return err
+				}
+				ent, err := s.cfg.Store.Get(digest)
+				if err != nil {
+					return err
+				}
+				id := ent.Design
+				if id == "" {
+					id = "R"
+				}
+				job.Designs = []rnuca.DesignID{rnuca.DesignID(id)}
+			}
+		case rnuca.InputWorkload:
+			if len(job.Designs) == 0 {
+				job.Designs = []rnuca.DesignID{rnuca.DesignRNUCA}
+			}
+		case rnuca.InputTrace:
+			return fmt.Errorf("path-backed trace inputs are not accepted over the API; upload the trace to the corpus store and reference it")
 		}
-		if spec.Workload == "" {
-			return fmt.Errorf("compare job needs a corpus or a workload")
+		if err := job.Validate(); err != nil {
+			return err
 		}
-		w, ok := workload.ByName(spec.Workload)
-		if !ok {
-			return fmt.Errorf("unknown workload %q", spec.Workload)
-		}
-		j.workload = w
-	case "convert":
+		spec.Job = &job
+	case spec.Kind == "convert":
 		if s.cfg.Store == nil {
 			return fmt.Errorf("convert jobs need a corpus store (-corpus)")
 		}
@@ -378,24 +536,35 @@ func (s *Server) validate(j *job) error {
 		if _, err := spec.Convert.ingestOptions(); err != nil {
 			return err
 		}
-	case "figure":
-		if len(spec.Corpora) == 0 {
+	case spec.Kind == "figure":
+		fig := spec.Figure
+		if fig == nil || len(fig.Corpora) == 0 {
 			return fmt.Errorf("figure job needs corpora")
 		}
-		for _, ref := range spec.Corpora {
+		for _, ref := range fig.Corpora {
 			ent, err := s.resolveCorpus(ref)
 			if err != nil {
 				return err
 			}
 			j.corpora = append(j.corpora, resolvedCorpus{ref: ref, digest: ent.Digest})
 		}
-		ids, err := parseDesigns(spec.Designs)
-		if err != nil {
+		for _, f := range []struct {
+			name string
+			v    int
+		}{
+			{"warm", fig.Scale.Warm}, {"measure", fig.Scale.Measure},
+			{"batches", fig.Scale.Batches}, {"trace_refs", fig.Scale.TraceRefs},
+			{"shards", fig.Shards},
+		} {
+			if f.v < 0 {
+				return fmt.Errorf("figure %s must not be negative (got %d)", f.name, f.v)
+			}
+		}
+		if _, err := parseDesigns(fig.Designs); err != nil {
 			return err
 		}
-		j.designs = ids
 	default:
-		return fmt.Errorf("unknown job kind %q (run, replay, compare, convert, figure)", spec.Kind)
+		return fmt.Errorf("unknown job kind %q (sim, convert, figure; legacy run, replay, compare)", spec.Kind)
 	}
 	return nil
 }
@@ -430,23 +599,6 @@ func (s *Server) resolveCorpus(ref string) (corpus.Entry, error) {
 	return s.cfg.Store.Get(ref)
 }
 
-// parseDesign parses one design ID, applying a default for "".
-func parseDesign(s, def string) (rnuca.DesignID, error) {
-	if s == "" {
-		s = def
-	}
-	if s == "" {
-		s = "R"
-	}
-	id := rnuca.DesignID(s)
-	for _, d := range rnuca.AllDesigns() {
-		if id == d {
-			return id, nil
-		}
-	}
-	return "", fmt.Errorf("unknown design %q (P, A, S, R, I)", s)
-}
-
 // parseDesigns parses a design list, defaulting to all five.
 func parseDesigns(ss []string) ([]rnuca.DesignID, error) {
 	if len(ss) == 0 {
@@ -454,9 +606,15 @@ func parseDesigns(ss []string) ([]rnuca.DesignID, error) {
 	}
 	out := make([]rnuca.DesignID, 0, len(ss))
 	for _, s := range ss {
-		id, err := parseDesign(s, "")
-		if err != nil {
-			return nil, err
+		id := rnuca.DesignID(s)
+		ok := false
+		for _, d := range rnuca.AllDesigns() {
+			if id == d {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown design %q (P, A, S, R, I)", s)
 		}
 		out = append(out, id)
 	}

@@ -16,8 +16,11 @@ import (
 	"testing"
 	"time"
 
+	"fmt"
+
 	"rnuca"
 	"rnuca/internal/corpus"
+	"rnuca/internal/experiments"
 )
 
 // testTrace records one small OLTP-DB2 trace per test binary run and
@@ -28,9 +31,12 @@ var (
 	traceErr  error
 )
 
+// The shared trace is long enough (warm+measure > the engine's
+// progress tick of 8192 refs) that cancellation tests can land a
+// context cancellation mid-simulation, not just between cells.
 const (
-	recWarm    = 2000
-	recMeasure = 4000
+	recWarm    = 3000
+	recMeasure = 9000
 )
 
 func recordedTrace(t *testing.T) string {
@@ -78,9 +84,19 @@ func newTestServerStore(t *testing.T, workers int) (*Server, *httptest.Server, c
 }
 
 // postJob submits a spec over HTTP and returns the accepted status.
-func postJob(t *testing.T, base string, spec JobSpec) JobStatus {
+// spec may be a JobSpec, an rnuca.Job, a raw JSON string (posted
+// verbatim, for pinning wire shapes), or anything else that marshals.
+func postJob(t *testing.T, base string, spec any) JobStatus {
 	t.Helper()
-	b, _ := json.Marshal(spec)
+	var b []byte
+	if s, ok := spec.(string); ok {
+		b = []byte(s)
+	} else {
+		var err error
+		if b, err = json.Marshal(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
 	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(b))
 	if err != nil {
 		t.Fatal(err)
@@ -145,12 +161,13 @@ func metric(t *testing.T, base, name string) float64 {
 	return 0
 }
 
-// A replay job submitted over the API returns a Result identical to a
-// direct rnuca.Replay call — bit for bit, through the JSON round trip.
+// A legacy-shaped replay job submitted over the API returns a Result
+// identical to a direct rnuca.Replay call — bit for bit, through the
+// JSON round trip — proving the one-release compat path still runs.
 func TestReplayJobMatchesDirectCall(t *testing.T) {
 	_, hs, ent, store := newTestServerStore(t, 2)
 
-	st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "R"})
+	st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"R"}`)
 	fin := waitJob(t, hs.URL, st.ID)
 	if fin.State != JobDone {
 		t.Fatalf("job %s: %s (%s)", st.ID, fin.State, fin.Error)
@@ -178,8 +195,13 @@ func TestReplayJobMatchesDirectCall(t *testing.T) {
 		t.Fatalf("first replay outcome %q, want miss", fin.Result.Cache["R"])
 	}
 
-	// A second identical job is a pure cache hit with the same payload.
-	st2 := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: ent.Digest, Design: "R"})
+	// A second identical job — submitted in the canonical v2 shape
+	// this time — is a pure cache hit with the same payload: the
+	// legacy translation and the canonical encoding key identically.
+	st2 := postJob(t, hs.URL, rnuca.Job{
+		Input:   rnuca.FromCorpusRef(ent.Digest),
+		Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+	})
 	fin2 := waitJob(t, hs.URL, st2.ID)
 	if fin2.State != JobDone || fin2.Result.Cache["R"] != "hit" {
 		t.Fatalf("second replay: %s, cache %v", fin2.State, fin2.Result.Cache)
@@ -201,7 +223,7 @@ func TestConcurrentIdenticalJobsSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "S"})
+			st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"S"}`)
 			ids[i] = st.ID
 		}(i)
 	}
@@ -233,11 +255,8 @@ func TestConcurrentIdenticalJobsSingleflight(t *testing.T) {
 // observable via /metrics.
 func TestFigureSecondBuildFullyCached(t *testing.T) {
 	_, hs, _ := newTestServer(t, 2)
-	spec := JobSpec{
-		Kind:    "figure",
-		Corpora: []string{"oltp"},
-		Options: JobOptions{Warm: 1000, Measure: 2000, TraceRefs: 12000},
-	}
+	// Legacy figure wire shape: scale fields inside flat "options".
+	spec := `{"kind":"figure","corpora":["oltp"],"options":{"warm":1000,"measure":2000,"trace_refs":12000}}`
 
 	fin := waitJob(t, hs.URL, postJob(t, hs.URL, spec).ID)
 	if fin.State != JobDone {
@@ -276,7 +295,7 @@ func TestFigureSecondBuildFullyCached(t *testing.T) {
 // carrying the result.
 func TestJobSSE(t *testing.T) {
 	_, hs, _ := newTestServer(t, 2)
-	st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "P"})
+	st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"P"}`)
 
 	resp, err := http.Get(hs.URL + "/v1/jobs/" + st.ID + "/events")
 	if err != nil {
@@ -306,29 +325,146 @@ func TestJobSSE(t *testing.T) {
 	}
 }
 
-// Canceling a running job stops the simulation and never caches the
-// partial result.
+// Canceling a running job stops the simulation mid-run and never
+// caches the partial result. The job is submitted in the canonical
+// Job JSON shape, so this exercises the context path end to end:
+// DELETE -> job ctx -> flight ctx -> Job.Run's engine progress poll.
 func TestCancelRunningJob(t *testing.T) {
 	_, hs, _ := newTestServer(t, 1)
 	// A generated run long enough that cancellation lands mid-flight.
-	st := postJob(t, hs.URL, JobSpec{
-		Kind: "run", Workload: "OLTP-DB2", Design: "S",
-		Options: JobOptions{Warm: 100_000, Measure: 20_000_000},
-	})
-	time.Sleep(150 * time.Millisecond)
+	st := postJob(t, hs.URL,
+		`{"input":{"workload":"OLTP-DB2"},"designs":["S"],"options":{"warm":100000,"measure":20000000,"batches":1}}`)
+	waitRunning(t, hs.URL, st.ID)
 	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+st.ID, nil)
 	if _, err := http.DefaultClient.Do(req); err != nil {
 		t.Fatal(err)
 	}
+	canceledAt := time.Now()
 	fin := waitJob(t, hs.URL, st.ID)
 	if fin.State != JobCanceled {
 		t.Fatalf("state %s, want canceled", fin.State)
+	}
+	// Mid-simulation, not after 20M refs: the engine polls the context
+	// every few thousand references, so the stop must be prompt.
+	if d := time.Since(canceledAt); d > 30*time.Second {
+		t.Fatalf("cancellation took %v", d)
 	}
 	if misses := metric(t, hs.URL, "rnuca_result_cache_misses_total"); misses != 1 {
 		t.Fatalf("misses %v", misses)
 	}
 	if entries := metric(t, hs.URL, "rnuca_result_cache_entries"); entries != 0 {
 		t.Fatal("canceled partial result entered the cache")
+	}
+}
+
+// waitRunning polls until a job reports the running state with
+// simulation progress, so a subsequent cancel provably lands
+// mid-simulation.
+func waitRunning(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.terminal() {
+			t.Fatalf("job %s finished (%s) before it could be canceled", id, st.State)
+		}
+		if st.State == JobRunning && st.DoneRefs > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started running", id)
+}
+
+// Canceling a running figure job aborts the campaign mid-simulation:
+// DELETE returns promptly with a canceled job, not after the whole
+// table suite is built.
+func TestCancelRunningFigureJob(t *testing.T) {
+	_, hs, _ := newTestServer(t, 1)
+	// Batches inflate every simulation cell so the build takes long
+	// enough to cancel; warm+measure spans the trace, keeping each
+	// engine past the progress tick.
+	st := postJob(t, hs.URL, JobSpec{Kind: "figure", Figure: &FigureSpec{
+		Corpora: []string{"oltp"},
+		Scale: experiments.Scale{
+			Warm: recWarm, Measure: recMeasure, Batches: 4, TraceRefs: 150_000,
+		},
+	}})
+	waitRunning(t, hs.URL, st.ID)
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+st.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	canceledAt := time.Now()
+	fin := waitJob(t, hs.URL, st.ID)
+	if fin.State != JobCanceled {
+		t.Fatalf("state %s (%s), want canceled", fin.State, fin.Error)
+	}
+	if fin.Result != nil {
+		t.Fatal("canceled figure job carries a result")
+	}
+	if d := time.Since(canceledAt); d > 30*time.Second {
+		t.Fatalf("figure cancellation took %v", d)
+	}
+}
+
+// A canonical Job posted to the API produces a result bit-identical
+// to executing the same Job directly — the round trip Job -> JSON ->
+// HTTP -> worker -> Result loses nothing.
+func TestCanonicalJobRoundTrip(t *testing.T) {
+	_, hs, _, store := newTestServerStore(t, 2)
+
+	job := rnuca.Job{
+		Input:   rnuca.FromCorpus(store, "oltp").Window(1000, 8000),
+		Designs: []rnuca.DesignID{rnuca.DesignShared},
+		Options: rnuca.RunOptions{Warm: 1500, Measure: 6000},
+	}
+	st := postJob(t, hs.URL, job)
+	if st.Kind != "sim" {
+		t.Fatalf("canonical submission reported kind %q", st.Kind)
+	}
+	fin := waitJob(t, hs.URL, st.ID)
+	if fin.State != JobDone || fin.Result == nil || fin.Result.Result == nil {
+		t.Fatalf("job: %s (%s)", fin.State, fin.Error)
+	}
+
+	want, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The served result crossed JSON; round-trip the direct result the
+	// same way so both sides saw identical encoding (float64 JSON
+	// encoding round-trips exactly, so this is a bit-for-bit check).
+	b, _ := json.Marshal(want)
+	var wantRT rnuca.Result
+	if err := json.Unmarshal(b, &wantRT); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*fin.Result.Result, wantRT) {
+		t.Fatalf("served result differs from direct Job.Run:\n  served %+v\n  direct %+v", *fin.Result.Result, wantRT)
+	}
+	if fin.Result.Cache["S"] != "miss" {
+		t.Fatalf("first run outcome %q, want miss", fin.Result.Cache["S"])
+	}
+
+	// The same job sharded is the same cell: a pure cache hit.
+	sharded := job
+	sharded.Input = rnuca.FromCorpus(store, "oltp").Window(1000, 8000).Sharded(4)
+	fin2 := waitJob(t, hs.URL, postJob(t, hs.URL, sharded).ID)
+	if fin2.State != JobDone || fin2.Result.Cache["S"] != "hit" {
+		t.Fatalf("sharded twin: %s, cache %v", fin2.State, fin2.Result.Cache)
+	}
+	if !reflect.DeepEqual(fin2.Result.Result, fin.Result.Result) {
+		t.Fatal("sharded twin returned a different result")
 	}
 }
 
@@ -354,6 +490,22 @@ func TestCorpusEndpoints(t *testing.T) {
 		t.Fatalf("upload: %s, digest %s vs %s", resp.Status, up.Digest, ent.Digest)
 	}
 
+	// PUT is what `curl -T` sends; it must behave exactly like POST.
+	req, err := http.NewRequest(http.MethodPut, hs.URL+"/v1/corpora?name=putup", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var putUp corpus.Entry
+	json.NewDecoder(resp.Body).Decode(&putUp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || putUp.Digest != ent.Digest {
+		t.Fatalf("PUT upload: %s, digest %s vs %s", resp.Status, putUp.Digest, ent.Digest)
+	}
+
 	resp, err = http.Get(hs.URL + "/v1/corpora/upload?verify=1")
 	if err != nil {
 		t.Fatal(err)
@@ -363,7 +515,7 @@ func TestCorpusEndpoints(t *testing.T) {
 		t.Fatalf("verify: %s", resp.Status)
 	}
 
-	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/corpora/upload", nil)
+	req, _ = http.NewRequest(http.MethodDelete, hs.URL+"/v1/corpora/upload", nil)
 	if resp, err = http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("delete ref: %v %v", err, resp.Status)
 	}
@@ -391,7 +543,7 @@ func TestCorpusEndpoints(t *testing.T) {
 // completes.
 func TestDrainRejectsNewJobs(t *testing.T) {
 	s, hs, _ := newTestServer(t, 1)
-	st := postJob(t, hs.URL, JobSpec{Kind: "replay", Corpus: "oltp", Design: "I"})
+	st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"I"}`)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -401,7 +553,7 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 	// Submissions during the drain are refused with 503.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		b, _ := json.Marshal(JobSpec{Kind: "replay", Corpus: "oltp"})
+		b := []byte(`{"kind":"replay","corpus":"oltp"}`)
 		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
 		if err != nil {
 			t.Fatal(err)
@@ -488,10 +640,8 @@ func TestJobHistoryPruning(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		// Distinct windows keep the jobs from collapsing into one
 		// cache entry, so each runs (and finishes) on its own.
-		st := postJob(t, hs.URL, JobSpec{
-			Kind: "replay", Corpus: "oltp", Design: "S",
-			Options: JobOptions{WindowStart: uint64(i), WindowRefs: 3000},
-		})
+		st := postJob(t, hs.URL, fmt.Sprintf(
+			`{"kind":"replay","corpus":"oltp","design":"S","options":{"window_start":%d,"window_refs":3000}}`, i))
 		ids = append(ids, st.ID)
 		waitJob(t, hs.URL, st.ID)
 	}
@@ -511,33 +661,71 @@ func TestJobHistoryPruning(t *testing.T) {
 	}
 }
 
-// Bad specs are rejected at submission with 400.
+// Legacy field precedence is preserved: run/replay read "design" and
+// ignore "designs" (single Result), compare reads "designs" and
+// ignores "design".
+func TestLegacyDesignFieldPrecedence(t *testing.T) {
+	_, hs, _ := newTestServer(t, 1)
+	fin := waitJob(t, hs.URL, postJob(t, hs.URL,
+		`{"kind":"replay","corpus":"oltp","design":"S","designs":["P","I"],"options":{"warm":2000,"measure":4000}}`).ID)
+	if fin.State != JobDone {
+		t.Fatalf("replay: %s (%s)", fin.State, fin.Error)
+	}
+	if fin.Result.Result == nil || fin.Result.Results != nil {
+		t.Fatalf("legacy replay with a stray designs list lost its single-Result shape: %+v", fin.Result)
+	}
+	if fin.Result.Result.Design != "S" {
+		t.Fatalf("legacy replay ran design %q, want S", fin.Result.Result.Design)
+	}
+
+	fin = waitJob(t, hs.URL, postJob(t, hs.URL,
+		`{"kind":"compare","corpus":"oltp","design":"S","designs":["P","I"],"options":{"warm":2000,"measure":4000}}`).ID)
+	if fin.State != JobDone {
+		t.Fatalf("compare: %s (%s)", fin.State, fin.Error)
+	}
+	if len(fin.Result.Results) != 2 {
+		t.Fatalf("legacy compare ran %d designs (%v), want the 2 from designs", len(fin.Result.Results), fin.Result.Cache)
+	}
+}
+
+// Bad specs — legacy and canonical — are rejected at submission with
+// 400 and counted as rejections.
 func TestSubmitValidation(t *testing.T) {
 	_, hs, _ := newTestServer(t, 1)
-	for _, spec := range []JobSpec{
-		{Kind: "teleport"},
-		{Kind: "run", Workload: "No-Such-WL"},
-		{Kind: "run", Workload: "OLTP-DB2", Design: "X"},
-		{Kind: "replay", Corpus: "no-such-corpus"},
-		{Kind: "figure"},
-		{Kind: "convert"},
+	specs := []string{
+		// Legacy shapes.
+		`{"kind":"teleport"}`,
+		`{"kind":"run","workload":"No-Such-WL"}`,
+		`{"kind":"run","workload":"OLTP-DB2","design":"X"}`,
+		`{"kind":"replay","corpus":"no-such-corpus"}`,
+		`{"kind":"figure"}`,
+		`{"kind":"convert"}`,
 		// Negative options would panic deep in the simulator; they
 		// must be a 400, not a dead worker.
-		{Kind: "run", Workload: "OLTP-DB2", Options: JobOptions{InstrClusterSize: -1}},
-		{Kind: "replay", Corpus: "oltp", Options: JobOptions{Batches: -2}},
-	} {
-		b, _ := json.Marshal(spec)
-		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+		`{"kind":"run","workload":"OLTP-DB2","options":{"instr_cluster_size":-1}}`,
+		`{"kind":"replay","corpus":"oltp","options":{"batches":-2}}`,
+		`{"kind":"replay","corpus":"oltp","options":{"shards":-2}}`,
+		`{"kind":"figure","corpora":["oltp"],"options":{"trace_refs":-5}}`,
+		// Canonical shapes.
+		`{"input":{"workload":"No-Such-WL"},"designs":["R"]}`,
+		`{"input":{"workload":"OLTP-DB2"},"designs":["X"]}`,
+		`{"input":{"corpus":{"ref":"no-such-corpus"}},"designs":["R"]}`,
+		`{"input":{"workload":"OLTP-DB2"},"designs":["R"],"options":{"warm":-1}}`,
+		`{"v":99,"input":{"workload":"OLTP-DB2"},"designs":["R"]}`,
+		`{"input":{"workload":"OLTP-DB2","corpus":"oltp"}}`,
+	}
+	for _, spec := range specs {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("spec %+v accepted: %s", spec, resp.Status)
+			t.Fatalf("spec %s accepted: %s", spec, resp.Status)
 		}
 	}
-	if v := metric(t, hs.URL, "rnuca_jobs_rejected_total"); v != 8 {
-		t.Fatalf("rejected %v, want 8", v)
+	if v := metric(t, hs.URL, "rnuca_jobs_rejected_total"); v != float64(len(specs)) {
+		t.Fatalf("rejected %v, want %d", v, len(specs))
 	}
 }
 

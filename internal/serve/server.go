@@ -302,34 +302,35 @@ func (s *Server) jobTerminal(j *job) bool {
 
 // execute dispatches a job by kind.
 func (s *Server) execute(j *job) (*JobResult, error) {
-	switch j.spec.Kind {
-	case "run":
-		return s.executeRun(j)
-	case "replay":
-		return s.executeReplay(j)
-	case "compare":
-		return s.executeCompare(j)
-	case "convert":
+	switch {
+	case simSpec(j.spec.Kind):
+		return s.executeSim(j)
+	case j.spec.Kind == "convert":
 		return s.executeConvert(j)
-	case "figure":
+	case j.spec.Kind == "figure":
 		return s.executeFigure(j)
 	}
 	return nil, fmt.Errorf("serve: unvalidated job kind %q", j.spec.Kind)
 }
 
-// cell runs one simulation cell through the memoized cache: key it,
-// join or start the flight, and refuse to cache a canceled partial.
-func (s *Server) cell(j *job, designKey, source string, opt rnuca.Options,
-	compute func(opt rnuca.Options) (rnuca.Result, error)) (rnuca.Result, resultcache.Outcome, error) {
-	key, ok := resultcache.Key(designKey, source, opt)
+// cell runs one single-design simulation cell through the memoized
+// cache: key it by the cell's canonical encoding, join or start the
+// flight, and refuse to cache a canceled partial. The cell executes
+// under the flight's context (canceled only when every interested job
+// has canceled) with the job's observation hook attached.
+func (s *Server) cell(j *job, cell rnuca.Job) (rnuca.Result, resultcache.Outcome, error) {
+	run := func(ctx context.Context) (rnuca.Result, error) {
+		c := cell
+		c.Options.Progress = j.observe()
+		return c.Run(ctx)
+	}
+	key, ok := resultcache.JobKey(cell)
 	if !ok {
-		r, err := compute(opt)
+		r, err := run(j.ctx)
 		return r, resultcache.Miss, err
 	}
 	v, outcome, err := s.cache.Do(j.ctx, key, func(fctx context.Context) (any, error) {
-		o := opt
-		o.Progress = j.progress(fctx)
-		r, err := compute(o)
+		r, err := run(fctx)
 		if err != nil {
 			return nil, err
 		}
@@ -346,67 +347,34 @@ func (s *Server) cell(j *job, designKey, source string, opt rnuca.Options,
 	return v.(rnuca.Result), outcome, nil
 }
 
-func (s *Server) executeRun(j *job) (*JobResult, error) {
-	source, ok := resultcache.WorkloadSource(j.workload)
-	if !ok {
-		return nil, fmt.Errorf("serve: workload %q not canonicalizable", j.workload.Name)
+// executeSim runs a simulation job, one cached cell per design.
+// Single-design run/replay jobs report a single Result; everything
+// else reports a design-keyed map.
+func (s *Server) executeSim(j *job) (*JobResult, error) {
+	job := *j.spec.Job
+	single := len(job.Designs) == 1 && j.spec.Kind != "compare"
+	out := &JobResult{Cache: map[string]string{}}
+	if !single {
+		out.Results = map[string]rnuca.Result{}
 	}
-	opt := j.spec.Options.options()
-	r, outcome, err := s.cell(j, string(j.design), source, opt, func(o rnuca.Options) (rnuca.Result, error) {
-		return rnuca.Run(j.workload, j.design, o), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &JobResult{Result: &r, Cache: map[string]string{string(j.design): outcome.String()}}, nil
-}
-
-func (s *Server) executeReplay(j *job) (*JobResult, error) {
-	opt := j.spec.Options.options()
-	r, outcome, err := s.cell(j, string(j.design), resultcache.CorpusSource(j.digest), opt,
-		func(o rnuca.Options) (rnuca.Result, error) {
-			return rnuca.Replay(j.tracePath, j.design, o)
-		})
-	if err != nil {
-		return nil, err
-	}
-	return &JobResult{Result: &r, Cache: map[string]string{string(j.design): outcome.String()}}, nil
-}
-
-func (s *Server) executeCompare(j *job) (*JobResult, error) {
-	out := &JobResult{Results: map[string]rnuca.Result{}, Cache: map[string]string{}}
-	for _, id := range j.designs {
+	for _, id := range job.Designs {
 		if err := j.ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Each design is a fresh cell: restart the progress counters so
+		// Each design is a fresh cell: restart the progress gauge so
 		// a later cell does not appear frozen at the previous one's max.
-		j.done.Store(0)
-		j.total.Store(0)
-		var r rnuca.Result
-		var outcome resultcache.Outcome
-		var err error
-		opt := j.spec.Options.options()
-		if j.tracePath != "" {
-			r, outcome, err = s.cell(j, string(id), resultcache.CorpusSource(j.digest), opt,
-				func(o rnuca.Options) (rnuca.Result, error) {
-					return rnuca.Replay(j.tracePath, id, o)
-				})
-		} else {
-			var source string
-			var ok bool
-			if source, ok = resultcache.WorkloadSource(j.workload); !ok {
-				return nil, fmt.Errorf("serve: workload %q not canonicalizable", j.workload.Name)
-			}
-			r, outcome, err = s.cell(j, string(id), source, opt, func(o rnuca.Options) (rnuca.Result, error) {
-				return rnuca.Run(j.workload, id, o), nil
-			})
-		}
+		j.gauge.Reset()
+		r, outcome, err := s.cell(j, job.WithDesign(id))
 		if err != nil {
 			return nil, err
 		}
-		out.Results[string(id)] = r
 		out.Cache[string(id)] = outcome.String()
+		if single {
+			rr := r
+			out.Result = &rr
+		} else {
+			out.Results[string(id)] = r
+		}
 	}
 	return out, nil
 }
@@ -451,23 +419,22 @@ func (s *Server) executeConvert(j *job) (*JobResult, error) {
 	return &JobResult{Corpus: &ent}, nil
 }
 
-// figureScale derives the campaign scale from job options, defaulting
-// to the Quick scale the test harness uses.
-func figureScale(o JobOptions) experiments.Scale {
-	sc := experiments.Quick()
-	if o.Warm > 0 {
-		sc.Warm = o.Warm
+// figureScale applies the Quick defaults (the test-harness scale) to
+// a figure spec's zero scale fields.
+func figureScale(sc experiments.Scale) experiments.Scale {
+	def := experiments.Quick()
+	if sc.Warm == 0 {
+		sc.Warm = def.Warm
 	}
-	if o.Measure > 0 {
-		sc.Measure = o.Measure
+	if sc.Measure == 0 {
+		sc.Measure = def.Measure
 	}
-	if o.Batches > 0 {
-		sc.Batches = o.Batches
+	if sc.Batches == 0 {
+		sc.Batches = def.Batches
 	}
-	if o.TraceRefs > 0 {
-		sc.TraceRefs = o.TraceRefs
+	if sc.TraceRefs == 0 {
+		sc.TraceRefs = def.TraceRefs
 	}
-	sc.ASRBest = o.ASRBest
 	return sc
 }
 
@@ -476,15 +443,21 @@ func figureScale(o JobOptions) experiments.Scale {
 // the job's corpora. The whole build memoizes under a key of the
 // corpus digests, designs, and scale; the campaign's individual
 // simulation cells share the same cache, so even a partially-warm
-// cache skips every cell it has seen.
+// cache skips every cell it has seen. The flight's context threads
+// through Campaign.SetContext, so a canceled job stops its build
+// mid-simulation, not between stages.
 func (s *Server) executeFigure(j *job) (*JobResult, error) {
-	sc := figureScale(j.spec.Options)
+	fig := j.spec.Figure
+	sc := figureScale(fig.Scale)
 	digests := make([]string, len(j.corpora))
 	for i, c := range j.corpora {
 		digests[i] = c.digest
 	}
 	sort.Strings(digests)
-	ids := j.designs
+	ids, err := parseDesigns(fig.Designs)
+	if err != nil {
+		return nil, err
+	}
 	keyJSON, err := json.Marshal(struct {
 		Digests []string          `json:"d"`
 		Designs []rnuca.DesignID  `json:"ids"`
@@ -496,19 +469,26 @@ func (s *Server) executeFigure(j *job) (*JobResult, error) {
 	key := "figure|" + string(keyJSON)
 
 	v, outcome, err := s.cache.Do(j.ctx, key, func(fctx context.Context) (tables any, err error) {
-		// The campaign API reports simulation failures by panicking
-		// (its callers are harnesses); a serving worker must turn that
-		// into a failed job, not a dead process.
+		// The campaign API reports simulation failures — cancellation
+		// included — by panicking (its callers are harnesses); a
+		// serving worker must turn that into a failed or canceled job,
+		// not a dead process.
 		defer func() {
 			if p := recover(); p != nil {
+				if cerr := fctx.Err(); cerr != nil {
+					tables, err = nil, cerr
+					return
+				}
 				tables, err = nil, fmt.Errorf("serve: figure build: %v", p)
 			}
 		}()
 		camp := experiments.NewCampaign(sc)
-		camp.Shards = j.spec.Options.Shards
+		camp.Shards = fig.Shards
 		camp.SetResultCache(s.cache)
+		camp.SetContext(fctx)
+		camp.SetProgress(&j.gauge)
 		for _, c := range j.corpora {
-			if _, err := camp.UseCorpus(s.cfg.Store, c.digest); err != nil {
+			if _, err := camp.SetInput(rnuca.FromCorpus(s.cfg.Store, c.digest)); err != nil {
 				return nil, err
 			}
 		}

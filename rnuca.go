@@ -13,53 +13,70 @@
 // calibrated to the paper's characterization, and the trace analyses and
 // benchmark harness that regenerate every figure and table.
 //
-// Quick start:
+// # The Job API
 //
-//	res := rnuca.Run(rnuca.OLTPDB2(), rnuca.DesignRNUCA, rnuca.Options{})
+// Every simulation is described by a Job: an Input saying where the
+// reference stream comes from, the designs to evaluate, and run
+// options. Jobs execute under a context.Context, which is the
+// cancellation path, and report failures as errors.
+//
+//	job := rnuca.Job{
+//	    Input:   rnuca.FromWorkload(rnuca.OLTPDB2()),
+//	    Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+//	}
+//	res, err := job.Run(context.Background())
+//	if err != nil { ... }
 //	fmt.Printf("CPI %.3f, off-chip misses %d\n", res.CPI(), res.OffChipMisses)
 //
 // Compare designs the way Figure 12 does:
 //
-//	cmp := rnuca.Compare(rnuca.OLTPDB2(), rnuca.AllDesigns(), rnuca.Options{})
+//	job.Designs = rnuca.AllDesigns()
+//	cmp, err := job.Compare(ctx)
 //	fmt.Printf("R-NUCA speedup over private: %+.1f%%\n",
 //	    100*cmp[rnuca.DesignRNUCA].Speedup(cmp[rnuca.DesignPrivate].Result))
 //
-// Simulations are trace-drivable: Record captures the reference stream a
-// run consumed into a compact binary trace (internal/tracefile documents
-// the on-disk format), and Replay re-runs any design over it without
-// paying generation cost. A same-design replay reproduces the recording
-// run's Result bit for bit.
+// Inputs carry the knobs that are legal for their kind and no others:
+// FromWorkload(w) generates references statistically; FromTrace(path)
+// replays a recording, optionally .Window(start, n) sampling a record
+// range and .Sharded(n) fanning chunk decode across workers;
+// FromCorpus(store, ref) replays a content-addressed corpus object;
+// FromSource(fn) plugs in any reference stream. Record a generated
+// run for later replay with Job.Record — a same-design replay
+// reproduces the recording run's Result bit for bit.
 //
-//	rec, _ := rnuca.Record(rnuca.OLTPDB2(), rnuca.DesignRNUCA, rnuca.Options{}, "oltp.rnt")
-//	rep, _ := rnuca.Replay("oltp.rnt", rnuca.DesignRNUCA, rnuca.Options{})
-//	// rec.Result == rep.Result
+// A Job has exactly one canonical JSON encoding (Job.MarshalJSON): it
+// is the wire format of the rnuca-serve job service (POST /v1/jobs)
+// and the basis of result-cache keys (internal/resultcache), with
+// everything that provably cannot change the Result — decode
+// sharding, progress observation — excluded by construction.
 //
-// Recorded traces carry a chunk index (tracefile format v2), so replays
-// can fan chunk decoding across workers (Options.Shards — results stay
-// bit-identical) and sample record windows without scanning from the
-// start (Options.WindowStart/WindowRefs). Arbitrary reference streams
-// plug in through Options.Source (any trace.RefSource), and externally
-// captured traces enter through internal/ingest: rnuca-trace convert
-// turns Dinero/ChampSim-style/CSV address streams into indexed v2
-// corpora with page-grain class inference, TraceWorkload synthesizes a
-// replayable workload from any corpus header, and cmd/rnuca-trace wraps
-// record/info/index/convert/replay (plus the corpus-store subcommands)
-// for the command line.
+// Cancellation: pass a cancelable context to Run/Compare; engines
+// observe it every few thousand simulated references through the same
+// plumbing that feeds the RunOptions.Progress observation hook, and a
+// canceled run returns its partial Result with the context's error.
 //
-// For serving, cmd/rnuca-serve exposes the whole pipeline as a
-// long-running HTTP job service (internal/serve) over a
+// The pre-v2 entry points (Run, Replay, Compare, Record, ...) survive
+// as thin deprecated wrappers over Job for one release.
+//
+// Externally captured traces enter through internal/ingest:
+// rnuca-trace convert turns Dinero/ChampSim-style/CSV address streams
+// into indexed v2 corpora with page-grain class inference, and
+// TraceWorkload synthesizes a replayable workload from any corpus
+// header. For serving, cmd/rnuca-serve exposes the whole pipeline as
+// a long-running HTTP job service (internal/serve) over a
 // content-addressed corpus store (internal/corpus), memoizing results
-// behind a singleflight LRU (internal/resultcache) so identical
-// concurrent requests simulate once and repeated requests not at all;
-// Options.Progress is the cooperative observation/cancellation hook
-// that service uses.
+// behind a singleflight LRU (internal/resultcache) keyed by canonical
+// Job encodings.
 package rnuca
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rnuca/internal/design"
 	"rnuca/internal/sim"
@@ -70,7 +87,7 @@ import (
 )
 
 // RefSource is re-exported so callers can plug external reference
-// streams into Options.Source without importing internal packages.
+// streams into FromSource without importing internal packages.
 type RefSource = trace.RefSource
 
 // DesignID names one of the five evaluated L2 organizations.
@@ -107,7 +124,14 @@ var (
 	Extended   = workload.Extended
 )
 
-// Options tunes a simulation run. The zero value gives sensible defaults.
+// Options tunes a legacy (pre-Job) simulation call. The zero value
+// gives sensible defaults.
+//
+// Deprecated: Options mixes knobs that only apply to some call shapes
+// (Source to generated runs, Shards/Window to replays, Progress's
+// boolean return to cooperative cancellation). New code states each
+// on the type it belongs to: Input knobs for the stream, RunOptions
+// for the run, a context.Context for cancellation.
 type Options struct {
 	// Warm is the number of chip-wide references run before measurement
 	// (cache/TLB/page-table warmup, like the paper's checkpoint warming).
@@ -141,13 +165,12 @@ type Options struct {
 	// Progress, when non-nil, is called by each engine roughly every
 	// few thousand consumed references with the engine's running count
 	// and the run's per-engine total (Warm+Measure); returning false
-	// stops that engine early, leaving a partial Result. It exists for
-	// cooperative cancellation and live progress reporting (the
-	// rnuca-serve job service): observation cannot perturb the
-	// deterministic timing model, so an observed run that completes is
-	// bit-identical to an unobserved one, and result caches ignore the
-	// field when keying. With Batches > 1 the engines run concurrently,
-	// so the callback must be safe for concurrent use.
+	// stops the run early, leaving a partial Result. Observation cannot
+	// perturb the deterministic timing model, so an observed run that
+	// completes is bit-identical to an unobserved one. With Batches > 1
+	// the engines run concurrently, so the callback must be safe for
+	// concurrent use. New code observes with RunOptions.Progress and
+	// cancels with a context instead.
 	Progress func(done, total int) bool
 
 	// Shards, when > 1, fans each replay batch's trace decoding across
@@ -232,15 +255,16 @@ func gridFor(n int) (int, int) {
 // Result is one design's measured performance on one workload.
 type Result struct {
 	sim.Result
-	// CPIMean/CPICI are the batch statistics when Options.Batches > 1
+	// CPIMean/CPICI are the batch statistics when Batches > 1
 	// (CPIMean equals Result.CPI() for single batches).
 	CPIMean float64
 	CPICI   float64
 }
 
 // NewDesign constructs a design instance on a chassis. ASR here is the
-// adaptive variant; use RunASRBest for the paper's best-of-six
-// methodology.
+// adaptive variant; Job.Run applies the paper's best-of-six
+// methodology for DesignASR. Unknown IDs panic; Job.Validate rejects
+// them with an error first.
 func NewDesign(id DesignID, ch *sim.Chassis) sim.Design {
 	switch id {
 	case DesignPrivate:
@@ -258,25 +282,98 @@ func NewDesign(id DesignID, ch *sim.Chassis) sim.Design {
 	}
 }
 
-// RunWith simulates one workload on a custom design built by mk — used by
-// the experiment harness for ASR variants and design ablations.
+// legacyJob assembles the Job a legacy Options-based call describes:
+// replay knobs move onto the input, the result-relevant fields onto
+// RunOptions. The Source and Progress fields are handled by the
+// individual wrappers (Source selects the input kind, Progress the
+// cancellation adapter).
+func legacyJob(in Input, o Options, ids ...DesignID) Job {
+	if in.Replays() {
+		if o.windowed() {
+			in = in.Window(o.WindowStart, o.WindowRefs)
+		}
+		if o.Shards > 0 {
+			in = in.Sharded(o.Shards)
+		}
+	}
+	return Job{Input: in, Designs: ids, Options: RunOptions{
+		Warm:               o.Warm,
+		Measure:            o.Measure,
+		Batches:            o.Batches,
+		InstrClusterSize:   o.InstrClusterSize,
+		PrivateClusterSize: o.PrivateClusterSize,
+		Config:             o.Config,
+	}}
+}
+
+// legacyCtx adapts the legacy Progress contract — return false to
+// stop the run, which is not an error — onto the context path. It
+// wires the boolean callback into the job's observation hook plus a
+// cancel, and the returned finish strips the cancellation error when
+// the callback (rather than a caller) stopped the run.
+func (o Options) legacyCtx(j *Job) (ctx context.Context, finish func(error) error) {
+	if o.Progress == nil {
+		return context.Background(), func(err error) error { return err }
+	}
+	c, cancel := context.WithCancel(context.Background())
+	var stopped atomic.Bool
+	cb := o.Progress
+	j.Options.Progress = func(done, total int) {
+		if !cb(done, total) {
+			stopped.Store(true)
+			cancel()
+		}
+	}
+	return c, func(err error) error {
+		cancel()
+		if err != nil && stopped.Load() && errors.Is(err, context.Canceled) {
+			return nil
+		}
+		return err
+	}
+}
+
+// legacySourceInput picks the input a legacy (w, opt) pair describes:
+// the workload's generator, or opt.Source with the workload's timing
+// parameters attached.
+func legacySourceInput(w Workload, o Options) Input {
+	if o.Source != nil {
+		return FromSource(o.Source).ForWorkload(w)
+	}
+	return FromWorkload(w)
+}
+
+// RunWith simulates one workload on a custom design built by mk.
+//
+// Deprecated: set Job.Maker and call Job.Run.
 func RunWith(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Result {
-	opt = opt.withDefaults(w)
-	return runBatches(w, opt, mk)
+	j := legacyJob(legacySourceInput(w, opt), opt)
+	j.Maker = mk
+	ctx, finish := opt.legacyCtx(&j)
+	r, err := j.Run(ctx)
+	if err = finish(err); err != nil {
+		panic("rnuca: " + err.Error())
+	}
+	return r
 }
 
 // Run simulates one workload on one design.
+//
+// Deprecated: build a Job with FromWorkload and call Job.Run, which
+// reports bad specs as errors and cancels via context.
 func Run(w Workload, id DesignID, opt Options) Result {
-	opt = opt.withDefaults(w)
-	if id == DesignASR && opt.Source == nil {
-		return runASRBest(w, opt)
+	j := legacyJob(legacySourceInput(w, opt), opt, id)
+	ctx, finish := opt.legacyCtx(&j)
+	r, err := j.Run(ctx)
+	if err = finish(err); err != nil {
+		panic("rnuca: " + err.Error())
 	}
-	return runBatches(w, opt, designMaker(id, opt))
+	return r
 }
 
 // designMaker returns the design constructor Run would use for id, with
 // ASR fixed to the adaptive variant (the best-of-six sweep is handled by
-// runASRBest, which generator-driven Run still goes through).
+// runASRBest, which generator-driven runs still go through).
 func designMaker(id DesignID, opt Options) func(*sim.Chassis) sim.Design {
 	if id == DesignRNUCA && opt.PrivateClusterSize > 1 {
 		size := opt.PrivateClusterSize
@@ -321,102 +418,79 @@ func hookProgress(eng *sim.Engine, opt Options) {
 	eng.Progress = func(done int) bool { return cb(done, total) }
 }
 
-// runBatches executes opt.Batches independently-seeded runs and folds the
-// results.
+// runBatches executes opt.Batches independently-seeded runs and folds
+// the results with equal batch weight.
 func runBatches(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Result {
-	var out Result
+	results := make([]sim.Result, opt.Batches)
 	var cpi stats.Summary
 	for b := 0; b < opt.Batches; b++ {
 		ws := w
 		ws.Seed = w.Seed + uint64(b)*0x9E37
-		var res sim.Result
 		if opt.Source != nil {
-			res = runOneSource(ws, opt, mk, opt.Source(b))
+			results[b] = runOneSource(ws, opt, mk, opt.Source(b))
 		} else {
-			res = runOne(ws, opt, mk, workload.Streams(ws))
+			results[b] = runOne(ws, opt, mk, workload.Streams(ws))
 		}
-		cpi.Add(res.CPI())
-		if b == 0 {
-			out.Result = res
-		} else {
-			out.Result = mergeResults(out.Result, res)
-		}
+		cpi.Add(results[b].CPI())
 	}
+	var out Result
+	out.Result = foldResults(results)
 	out.CPIMean = cpi.Mean()
 	out.CPICI = cpi.CI95()
 	return out
 }
 
-// Record runs one workload on one design exactly as Run does (single
-// batch), teeing every reference the engine consumes — warmup included —
-// to a trace file at path. The returned Result is the recording run's;
-// replaying the file under the same design and reference counts
-// reproduces it bit for bit. ASR records its adaptive variant (a
-// best-of-six sweep would interleave six streams into one file); Replay
-// of design A still applies the best-of-six methodology to the recorded
-// refs.
+// Record runs one workload on one design, teeing every reference the
+// engine consumes to a trace file at path.
+//
+// Deprecated: use Job.Record.
 func Record(w Workload, id DesignID, opt Options, path string) (Result, error) {
-	opt = opt.withDefaults(w)
-	opt.Batches = 1
 	if opt.Source != nil {
 		return Result{}, fmt.Errorf("rnuca: Record with Options.Source set; record from the generator")
 	}
-	fw, err := tracefile.Create(path, tracefile.Header{
-		Workload:   w.Name,
-		Design:     string(id),
-		Cores:      opt.Config.Cores,
-		Seed:       w.Seed,
-		Warm:       opt.Warm,
-		Measure:    opt.Measure,
-		OffChipMLP: w.OffChipMLP,
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	streams := tracefile.RecordStreams(fw.Writer, workload.Streams(w))
-	var out Result
-	res := runOne(w, opt, designMaker(id, opt), streams)
-	out.Result = res
-	out.CPIMean = res.CPI()
-	if err := fw.Close(); err != nil {
-		return out, err
-	}
-	return out, nil
+	j := legacyJob(FromWorkload(w), opt, id)
+	ctx, finish := opt.legacyCtx(&j)
+	r, err := j.Record(ctx, path)
+	return r, finish(err)
 }
 
 // Replay runs one design over a recorded trace. Warm/Measure default to
 // the recording run's split (stored in the trace header); the workload's
 // timing parameters come from the header, so traces replay without a
 // catalog entry. DesignASR follows the paper's best-of-six methodology,
-// as Run does, with every variant replaying the same refs. Batches > 1
-// replays the same trace on independent engines in parallel — useful for
-// timing designs whose adaptation has internal randomness, and for
-// exercising the batch fold — though for the deterministic designs every
-// batch yields the same Result.
+// with every variant replaying the same refs. Batches > 1 replays the
+// same trace on independent engines in parallel.
 //
-// On v2 indexed traces, Options.Shards > 1 fans each batch's chunk
-// decoding across parallel workers (bit-identical results, decode off
-// the simulation's critical path), and Options.WindowStart/WindowRefs
-// replay a record window without scanning from the file's start.
+// Deprecated: build a Job with FromTrace (with .Window / .Sharded as
+// needed) and call Job.Run.
 func Replay(path string, id DesignID, opt Options) (Result, error) {
-	opt, w, err := replaySetup(path, opt)
-	if err != nil {
+	if opt.Source != nil {
+		return Result{}, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
+	}
+	j := legacyJob(FromTrace(path), opt, id)
+	ctx, finish := opt.legacyCtx(&j)
+	r, err := j.Run(ctx)
+	if err = finish(err); err != nil {
 		return Result{}, err
 	}
-	if id == DesignASR {
-		return replayASRBest(path, w, opt)
-	}
-	return replayBatches(path, w, opt, designMaker(id, opt))
+	return r, nil
 }
 
-// ReplayWith replays a trace on a custom design built by mk — the
-// trace-driven counterpart of RunWith.
+// ReplayWith replays a trace on a custom design built by mk.
+//
+// Deprecated: set Job.Maker on a FromTrace job and call Job.Run.
 func ReplayWith(path string, opt Options, mk func(*sim.Chassis) sim.Design) (Result, error) {
-	opt, w, err := replaySetup(path, opt)
-	if err != nil {
+	if opt.Source != nil {
+		return Result{}, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
+	}
+	j := legacyJob(FromTrace(path), opt)
+	j.Maker = mk
+	ctx, finish := opt.legacyCtx(&j)
+	r, err := j.Run(ctx)
+	if err = finish(err); err != nil {
 		return Result{}, err
 	}
-	return replayBatches(path, w, opt, mk)
+	return r, nil
 }
 
 // replaySetup validates the trace header and resolves replay options
@@ -556,9 +630,9 @@ func openReplaySource(path string, opt Options) (src interface {
 }
 
 // replayBatches runs opt.Batches replay engines over one trace in
-// parallel and folds the results in batch order. Each batch opens its
-// own view of the file — sequential, windowed, or sharded per the
-// options — so batches never contend on shared reader state.
+// parallel and folds the results with equal batch weight. Each batch
+// opens its own view of the file — sequential, windowed, or sharded per
+// the options — so batches never contend on shared reader state.
 func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) sim.Design) (Result, error) {
 	results := make([]sim.Result, opt.Batches)
 	errs := make([]error, opt.Batches)
@@ -597,19 +671,15 @@ func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) s
 		}(b)
 	}
 	wg.Wait()
-	var out Result
 	var cpi stats.Summary
 	for b, res := range results {
 		if errs[b] != nil {
 			return Result{}, errs[b]
 		}
 		cpi.Add(res.CPI())
-		if b == 0 {
-			out.Result = res
-		} else {
-			out.Result = mergeResults(out.Result, res)
-		}
 	}
+	var out Result
+	out.Result = foldResults(results)
 	out.CPIMean = cpi.Mean()
 	out.CPICI = cpi.CI95()
 	return out, nil
@@ -637,7 +707,7 @@ func replayASRBest(path string, w Workload, opt Options) (Result, error) {
 // catalog entry when the header's name resolves, otherwise a minimal
 // spec carrying the header's core count and timing parameters. It is
 // how ingested corpora (rnuca-trace convert), whose workloads exist in
-// no catalog, enter the Replay/Campaign APIs.
+// no catalog, enter the replay and Campaign APIs.
 func TraceWorkload(path string) (Workload, error) {
 	f, err := tracefile.Open(path)
 	if err != nil {
@@ -673,49 +743,60 @@ func workloadFor(hdr tracefile.Header) Workload {
 
 // ReplayCompare replays several designs over one trace concurrently,
 // the Figure 12 comparison without regeneration cost.
+//
+// Deprecated: build a multi-design Job with FromTrace and call
+// Job.Compare.
 func ReplayCompare(path string, ids []DesignID, opt Options) (map[DesignID]Result, error) {
-	results := make([]Result, len(ids))
-	errs := make([]error, len(ids))
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		wg.Add(1)
-		go func(i int, id DesignID) {
-			defer wg.Done()
-			results[i], errs[i] = Replay(path, id, opt)
-		}(i, id)
+	if opt.Source != nil {
+		return nil, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
 	}
-	wg.Wait()
-	out := make(map[DesignID]Result, len(ids))
-	for i, id := range ids {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out[id] = results[i]
+	j := legacyJob(FromTrace(path), opt, ids...)
+	ctx, finish := opt.legacyCtx(&j)
+	m, err := j.Compare(ctx)
+	if err = finish(err); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return m, nil
 }
 
-// mergeResults averages two results' accumulators (batch means).
-func mergeResults(a, b sim.Result) sim.Result {
-	a.Instructions += b.Instructions
-	a.Refs += b.Refs
-	a.Cycles += b.Cycles
-	a.OffChipMisses += b.OffChipMisses
-	a.MixedPageAccesses += b.MixedPageAccesses
-	a.MisclassifiedAccesses += b.MisclassifiedAccesses
-	a.ClassifiedAccesses += b.ClassifiedAccesses
-	a.NetMessages += b.NetMessages
-	a.NetFlitHops += b.NetFlitHops
-	a.NetWaitCycles += b.NetWaitCycles
-	for i := range a.CPIStack {
-		a.CPIStack[i] = (a.CPIStack[i] + b.CPIStack[i]) / 2
-	}
-	for c := range a.ClassCycles {
-		for i := range a.ClassCycles[c] {
-			a.ClassCycles[c][i] = (a.ClassCycles[c][i] + b.ClassCycles[c][i]) / 2
+// foldResults folds independently-seeded batch results with equal
+// weight: event counters sum, while the CPI stack and per-class cycle
+// breakdowns — per-instruction rates — average over the batch count.
+// (The pre-v2 fold averaged pairwise, (a+b)/2 per step, which weighted
+// batch b of B by 2^-(B-b) for B > 2.)
+func foldResults(rs []sim.Result) sim.Result {
+	out := rs[0]
+	for _, b := range rs[1:] {
+		out.Instructions += b.Instructions
+		out.Refs += b.Refs
+		out.Cycles += b.Cycles
+		out.OffChipMisses += b.OffChipMisses
+		out.MixedPageAccesses += b.MixedPageAccesses
+		out.MisclassifiedAccesses += b.MisclassifiedAccesses
+		out.ClassifiedAccesses += b.ClassifiedAccesses
+		out.NetMessages += b.NetMessages
+		out.NetFlitHops += b.NetFlitHops
+		out.NetWaitCycles += b.NetWaitCycles
+		for i := range out.CPIStack {
+			out.CPIStack[i] += b.CPIStack[i]
+		}
+		for c := range out.ClassCycles {
+			for i := range out.ClassCycles[c] {
+				out.ClassCycles[c][i] += b.ClassCycles[c][i]
+			}
 		}
 	}
-	return a
+	if n := float64(len(rs)); n > 1 {
+		for i := range out.CPIStack {
+			out.CPIStack[i] /= n
+		}
+		for c := range out.ClassCycles {
+			for i := range out.ClassCycles[c] {
+				out.ClassCycles[c][i] /= n
+			}
+		}
+	}
+	return out
 }
 
 // asrVariants returns the six ASR configurations of the paper's §5.1
@@ -748,12 +829,28 @@ func runASRBest(w Workload, opt Options) Result {
 }
 
 // Compare runs several designs on one workload with identical streams.
+//
+// Deprecated: build a multi-design Job with FromWorkload and call
+// Job.Compare.
 func Compare(w Workload, ids []DesignID, opt Options) map[DesignID]Result {
-	out := make(map[DesignID]Result, len(ids))
-	for _, id := range ids {
-		out[id] = Run(w, id, opt)
+	if opt.Source != nil || opt.Progress != nil {
+		// Caller-supplied source factories and progress callbacks saw
+		// the legacy sequential call order (a single-batch Progress
+		// could legally be non-thread-safe); preserve it rather than
+		// fan designs out concurrently.
+		out := make(map[DesignID]Result, len(ids))
+		for _, id := range ids {
+			out[id] = Run(w, id, opt)
+		}
+		return out
 	}
-	return out
+	j := legacyJob(FromWorkload(w), opt, ids...)
+	ctx, finish := opt.legacyCtx(&j)
+	m, err := j.Compare(ctx)
+	if err = finish(err); err != nil {
+		panic("rnuca: " + err.Error())
+	}
+	return m
 }
 
 // SpeedupCI is a matched-pair speedup estimate: both designs run on
