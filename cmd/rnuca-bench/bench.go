@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchSchema versions the trajectory file; bump only when a field
+// changes meaning, so dashboards can trust old artifacts.
+const benchSchema = 1
+
+// BenchResult is one benchmark's distilled measurements.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// BenchFile is the on-disk trajectory: one record per benchmark,
+// sorted by name, stamped with the writing toolchain.
+type BenchFile struct {
+	Schema int           `json:"schema"`
+	Go     string        `json:"go"`
+	Bench  []BenchResult `json:"bench"`
+}
+
+// Delta is one benchmark whose ns/op grew beyond the threshold.
+type Delta struct {
+	Name     string
+	Old, New float64
+	Delta    float64 // (new-old)/old
+	Gated    bool
+}
+
+// ParseBenchLine distills one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineRNUCA-8   1000  1234 ns/op  56 B/op  7 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so trajectories from
+// machines with different core counts stay comparable.
+func ParseBenchLine(line string) (BenchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(f[1]); err != nil {
+		return BenchResult{}, false
+	}
+	r := BenchResult{Name: name}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp, seen = v, true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "MB/s":
+			r.MBPerS = v
+		}
+	}
+	return r, seen
+}
+
+// MergeResult folds a parsed result into the set, keeping the fastest
+// ns/op when -count repeats a benchmark (and that run's companion
+// stats, so the record stays internally consistent).
+func MergeResult(results []BenchResult, r BenchResult) []BenchResult {
+	for i, have := range results {
+		if have.Name == r.Name {
+			if r.NsPerOp < have.NsPerOp {
+				results[i] = r
+			}
+			return results
+		}
+	}
+	return append(results, r)
+}
+
+// Compare reports every benchmark present in both runs whose ns/op
+// grew by more than threshold; entries matching gate are the ones a CI
+// run fails on.
+func Compare(old, cur []BenchResult, threshold float64, gate *regexp.Regexp) []Delta {
+	prev := make(map[string]BenchResult, len(old))
+	for _, r := range old {
+		prev[r.Name] = r
+	}
+	var out []Delta
+	for _, r := range cur {
+		p, ok := prev[r.Name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		d := (r.NsPerOp - p.NsPerOp) / p.NsPerOp
+		if d <= threshold {
+			continue
+		}
+		out = append(out, Delta{
+			Name: r.Name, Old: p.NsPerOp, New: r.NsPerOp,
+			Delta: d, Gated: gate != nil && gate.MatchString(r.Name),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Delta > out[j].Delta })
+	return out
+}
+
+// streamParser reassembles benchmark result lines from test2json
+// output events. The events split lines mid-way: a benchmark's name is
+// flushed when it starts ("BenchmarkX \t", no newline) and its
+// measurements arrive in a later event, so output must be buffered per
+// test until a newline completes the line.
+type streamParser struct {
+	bufs    map[string]string
+	Results []BenchResult
+}
+
+func newStreamParser() *streamParser { return &streamParser{bufs: map[string]string{}} }
+
+// Feed appends one event's output for a test, parsing any lines it
+// completes.
+func (p *streamParser) Feed(test, output string) {
+	p.bufs[test] += output
+	for {
+		i := strings.IndexByte(p.bufs[test], '\n')
+		if i < 0 {
+			return
+		}
+		line := p.bufs[test][:i]
+		p.bufs[test] = p.bufs[test][i+1:]
+		if r, ok := ParseBenchLine(line); ok {
+			p.Results = MergeResult(p.Results, r)
+		}
+	}
+}
+
+// loadBenchFile reads and sanity-checks a trajectory file.
+func loadBenchFile(path string) (BenchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return BenchFile{}, fmt.Errorf("%s: schema %d, want %d", path, f.Schema, benchSchema)
+	}
+	return f, nil
+}
+
+// writeBenchFile writes a trajectory file, sorted by benchmark name so
+// diffs between runs are stable.
+func writeBenchFile(path string, f BenchFile) error {
+	sort.Slice(f.Bench, func(i, j int) bool { return f.Bench[i].Name < f.Bench[j].Name })
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := ParseBenchLine("BenchmarkEngineRNUCA-8   \t 1201\t   997315 ns/op\t  2048 B/op\t      12 allocs/op\n")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkEngineRNUCA" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	if r.NsPerOp != 997315 || r.BytesPerOp != 2048 || r.AllocsPerOp != 12 {
+		t.Fatalf("parsed %+v", r)
+	}
+
+	r, ok = ParseBenchLine("BenchmarkThroughput-4 500 2500000 ns/op 64.21 MB/s")
+	if !ok || r.MBPerS != 64.21 {
+		t.Fatalf("MB/s parse: %+v ok=%v", r, ok)
+	}
+
+	for _, bad := range []string{
+		"PASS",
+		"ok  \trnuca\t42.1s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"goos: linux",
+		"BenchmarkNoUnit-8 100 200", // iterations but no ns/op
+	} {
+		if _, ok := ParseBenchLine(bad); ok {
+			t.Fatalf("%q must not parse", bad)
+		}
+	}
+}
+
+func TestMergeResultKeepsFastest(t *testing.T) {
+	rs := MergeResult(nil, BenchResult{Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 5})
+	rs = MergeResult(rs, BenchResult{Name: "BenchmarkX", NsPerOp: 80, AllocsPerOp: 4})
+	rs = MergeResult(rs, BenchResult{Name: "BenchmarkX", NsPerOp: 120, AllocsPerOp: 3})
+	if len(rs) != 1 || rs[0].NsPerOp != 80 || rs[0].AllocsPerOp != 4 {
+		t.Fatalf("merged %+v", rs)
+	}
+}
+
+// The regression gate: a slowed engine benchmark beyond the threshold
+// fails, a slowed non-gated benchmark only warns, and noise inside the
+// threshold passes silently.
+func TestCompareGate(t *testing.T) {
+	gate := regexp.MustCompile("^BenchmarkEngine")
+	old := []BenchResult{
+		{Name: "BenchmarkEngineRNUCA", NsPerOp: 1000},
+		{Name: "BenchmarkEnginePrivate", NsPerOp: 1000},
+		{Name: "BenchmarkFigure12Speedup", NsPerOp: 1000},
+		{Name: "BenchmarkRemoved", NsPerOp: 1000},
+	}
+	cur := []BenchResult{
+		{Name: "BenchmarkEngineRNUCA", NsPerOp: 1400},     // gated regression
+		{Name: "BenchmarkEnginePrivate", NsPerOp: 1100},   // within threshold
+		{Name: "BenchmarkFigure12Speedup", NsPerOp: 1500}, // non-gated
+		{Name: "BenchmarkAdded", NsPerOp: 9999},           // no baseline
+	}
+	ds := Compare(old, cur, 0.15, gate)
+	if len(ds) != 2 {
+		t.Fatalf("deltas = %+v", ds)
+	}
+	// Sorted by severity: the 50% figure slowdown before the 40% engine one.
+	if ds[0].Name != "BenchmarkFigure12Speedup" || ds[0].Gated {
+		t.Fatalf("ds[0] = %+v", ds[0])
+	}
+	if ds[1].Name != "BenchmarkEngineRNUCA" || !ds[1].Gated {
+		t.Fatalf("ds[1] = %+v", ds[1])
+	}
+	if ds[1].Delta < 0.39 || ds[1].Delta > 0.41 {
+		t.Fatalf("delta = %v", ds[1].Delta)
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := []BenchResult{{Name: "BenchmarkEngineRNUCA", NsPerOp: 1000}}
+	cur := []BenchResult{{Name: "BenchmarkEngineRNUCA", NsPerOp: 900}}
+	if ds := Compare(old, cur, 0.15, regexp.MustCompile("^BenchmarkEngine")); len(ds) != 0 {
+		t.Fatalf("faster run reported as regression: %+v", ds)
+	}
+}
+
+// Round-trip the trajectory file and reject foreign schemas, so a
+// future schema bump cannot be silently compared against old data.
+func TestBenchFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	in := BenchFile{Schema: benchSchema, Go: "go1.24.0", Bench: []BenchResult{
+		{Name: "BenchmarkB", NsPerOp: 2},
+		{Name: "BenchmarkA", NsPerOp: 1, BytesPerOp: 3, AllocsPerOp: 4, MBPerS: 5},
+	}}
+	if err := writeBenchFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bench) != 2 || got.Bench[0].Name != "BenchmarkA" {
+		t.Fatalf("round trip not sorted: %+v", got.Bench)
+	}
+	if got.Bench[0].MBPerS != 5 || got.Go != "go1.24.0" {
+		t.Fatalf("round trip dropped fields: %+v", got)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"schema":99,"bench":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchFile(path); err == nil {
+		t.Fatal("foreign schema must be rejected")
+	}
+}
+
+// test2json flushes a benchmark's name ("BenchmarkX \t", no newline)
+// when it starts and the measurements when it finishes, so one result
+// line spans multiple output events. Feed must reassemble them.
+func TestStreamParserReassemblesSplitLines(t *testing.T) {
+	p := newStreamParser()
+	p.Feed("rnuca\x00BenchmarkEngineRNUCA", "=== RUN   BenchmarkEngineRNUCA\n")
+	p.Feed("rnuca\x00BenchmarkEngineRNUCA", "BenchmarkEngineRNUCA\n")
+	p.Feed("rnuca\x00BenchmarkEngineRNUCA", "BenchmarkEngineRNUCA \t")
+	p.Feed("rnuca\x00BenchmarkEngineShared", "BenchmarkEngineShared \t")
+	p.Feed("rnuca\x00BenchmarkEngineRNUCA", "   54583\t      1285 ns/op\n")
+	p.Feed("rnuca\x00BenchmarkEngineShared", "   60000\t      1100 ns/op\n")
+	p.Feed("rnuca\x00", "PASS\n")
+	if len(p.Results) != 2 {
+		t.Fatalf("parsed %+v, want 2 results", p.Results)
+	}
+	if p.Results[0].Name != "BenchmarkEngineRNUCA" || p.Results[0].NsPerOp != 1285 {
+		t.Fatalf("results[0] = %+v", p.Results[0])
+	}
+	if p.Results[1].Name != "BenchmarkEngineShared" || p.Results[1].NsPerOp != 1100 {
+		t.Fatalf("results[1] = %+v", p.Results[1])
+	}
+}

@@ -5,16 +5,21 @@
 // Usage:
 //
 //	rnuca-figures [-exp all|table1|fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|classacc]
-//	              [-scale quick|full] [-csv]
+//	              [-scale quick|full] [-csv] [-trace-out spans.json]
+//
+// -trace-out collects the campaign's per-stage span trace
+// (internal/obs) over every selected experiment and writes it as JSON.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"rnuca/internal/experiments"
+	"rnuca/internal/obs"
 	"rnuca/internal/report"
 )
 
@@ -22,6 +27,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, fig2..fig12, classacc, privclust, scaling, meshtorus, migration, memlat, traffic, nocmodel)")
 	scale := flag.String("scale", "quick", "quick (seconds) or full (minutes, CI batches, best-of-six ASR)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	traceOut := flag.String("trace-out", "", "write the campaign's per-stage span trace as JSON to this path")
 	flag.Parse()
 
 	var s experiments.Scale
@@ -35,6 +41,11 @@ func main() {
 		os.Exit(2)
 	}
 	c := experiments.NewCampaign(s)
+	var spans *obs.Trace
+	if *traceOut != "" {
+		spans = obs.NewTrace(0)
+		c.SetContext(obs.ContextWithTrace(context.Background(), spans))
+	}
 
 	runners := map[string]func() []*report.Table{
 		"table1":    experiments.Table1,
@@ -82,6 +93,12 @@ func main() {
 				t.Render(os.Stdout)
 			}
 			fmt.Println()
+		}
+	}
+	if spans != nil {
+		if err := obs.WriteTraceFile(*traceOut, spans); err != nil {
+			fmt.Fprintf(os.Stderr, "rnuca-figures: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

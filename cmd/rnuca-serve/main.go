@@ -7,19 +7,24 @@
 // Usage:
 //
 //	rnuca-serve [-addr :8091] [-corpus DIR] [-ingest DIR] [-workers N]
-//	            [-queue N] [-cache N] [-history N] [-drain 30s]
+//	            [-queue N] [-cache N] [-history N] [-drain 30s] [-pprof]
 //
 // On SIGTERM or SIGINT the server stops accepting jobs, finishes what
 // is queued and running (up to -drain), and exits; a second signal
 // cancels running jobs and exits immediately.
 //
+// -pprof mounts net/http/pprof under /debug/pprof/ on the same
+// listener. It is off by default and should stay off on any address
+// reachable by untrusted clients: the profile endpoints expose heap
+// contents and let anyone drive CPU-costly collections.
+//
 // A minimal session against a running server — the job body is the
-// canonical rnuca.Job JSON (the pre-v2 kind-based shapes are still
-// accepted for one release):
+// canonical rnuca.Job JSON:
 //
 //	curl -sT oltp.rnt 'localhost:8091/v1/corpora?name=oltp'
 //	curl -s localhost:8091/v1/jobs -d '{"input":{"corpus":"oltp"},"designs":["R"]}'
 //	curl -s localhost:8091/v1/jobs/<id>
+//	curl -s localhost:8091/v1/jobs/<id>/trace
 //	curl -s localhost:8091/metrics | grep result_cache
 package main
 
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +54,7 @@ func main() {
 	cache := flag.Int("cache", 0, "result-cache entries (0 = default)")
 	history := flag.Int("history", 0, "finished jobs retained for /v1/jobs (0 = default 512)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (do not enable on publicly reachable addresses)")
 	flag.Parse()
 
 	var store *corpus.Store
@@ -65,7 +72,18 @@ func main() {
 		IngestDir:    *ingestDir,
 		JobHistory:   *history,
 	})
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

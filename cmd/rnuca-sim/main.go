@@ -4,11 +4,15 @@
 // Usage:
 //
 //	rnuca-sim -workload OLTP-DB2 -design R [-warm N] [-measure N]
-//	          [-clusters 4] [-batches 1]
+//	          [-clusters 4] [-batches 1] [-trace-out spans.json]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // SIGINT (Ctrl-C) cancels the simulation cooperatively: the engine
 // stops at its next progress poll and the partial result measured so
-// far is printed before exit.
+// far is printed before exit. -trace-out records the run's per-stage
+// span trace (internal/obs) as JSON and prints the timing breakdown;
+// -cpuprofile and -memprofile write runtime/pprof profiles for the
+// whole run.
 package main
 
 import (
@@ -19,15 +23,24 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
 	"rnuca"
+	"rnuca/internal/obs"
 	"rnuca/internal/sim"
 	"rnuca/internal/workload"
 )
 
 func main() {
+	// Exit codes funnel through run so the profile- and trace-writing
+	// defers always flush (os.Exit would skip them).
+	os.Exit(run())
+}
+
+func run() int {
 	wl := flag.String("workload", "OLTP-DB2", "workload name (see -list)")
 	ds := flag.String("design", "R", "design: P, A, S, R or I")
 	warm := flag.Int("warm", 0, "warmup references (0 = default)")
@@ -36,22 +49,62 @@ func main() {
 	batches := flag.Int("batches", 1, "independently seeded batches (CI when >1)")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	list := flag.Bool("list", false, "list workloads and exit")
+	traceOut := flag.String("trace-out", "", "write the run's per-stage span trace as JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
 	if *list {
 		for _, w := range append(rnuca.Primary(), rnuca.Extended()...) {
 			fmt.Printf("%-12s %s, %d cores\n", w.Name, w.Category, w.Cores)
 		}
-		return
+		return 0
 	}
 	w, ok := workload.ByName(*wl)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wl)
-		os.Exit(2)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rnuca-sim: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rnuca-sim: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rnuca-sim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is current
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rnuca-sim: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	var spans *obs.Trace
+	if *traceOut != "" {
+		spans = obs.NewTrace(0)
+		ctx = obs.ContextWithTrace(ctx, spans)
+	}
 
 	var gauge rnuca.ProgressGauge
 	job := rnuca.Job{
@@ -69,7 +122,13 @@ func main() {
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fmt.Fprintf(os.Stderr, "rnuca-sim: %v\n", err)
-		os.Exit(2)
+		return 2
+	}
+	if spans != nil {
+		if werr := obs.WriteTraceFile(*traceOut, spans); werr != nil {
+			fmt.Fprintf(os.Stderr, "rnuca-sim: %v\n", werr)
+			return 1
+		}
 	}
 	if interrupted {
 		// The engine stopped at its progress poll; report how far it
@@ -106,16 +165,19 @@ func main() {
 			out["misclassifiedFrac"] = float64(r.MisclassifiedAccesses) / float64(r.ClassifiedAccesses)
 			out["mixedPageFrac"] = float64(r.MixedPageAccesses) / float64(r.Refs)
 		}
+		if len(r.Timing) > 0 {
+			out["timing"] = r.Timing
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if interrupted {
-			os.Exit(130)
+			return 130
 		}
-		return
+		return 0
 	}
 
 	fmt.Printf("%s on %s (%d cores)\n", id, w.Name, w.Cores)
@@ -138,7 +200,14 @@ func main() {
 		fmt.Printf("  multi-class pages  %.1f%% of accesses\n",
 			100*float64(r.MixedPageAccesses)/float64(r.Refs))
 	}
-	if interrupted {
-		os.Exit(130)
+	if len(r.Timing) > 0 {
+		fmt.Printf("  stage timing (%s):\n", *traceOut)
+		for _, st := range r.Timing {
+			fmt.Printf("    %-16s %9.4fs x%d\n", st.Stage, st.Seconds, st.Count)
+		}
 	}
+	if interrupted {
+		return 130
+	}
+	return 0
 }

@@ -58,6 +58,7 @@ import (
 
 	"rnuca"
 	"rnuca/internal/ingest"
+	"rnuca/internal/obs"
 	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
 )
@@ -133,7 +134,7 @@ func record(args []string) {
 	dir := fs.String("dir", "", "output directory for -all (required with -all)")
 	fs.Parse(args)
 	id := parseDesign(*ds)
-	opt := rnuca.Options{Warm: *warm, Measure: *measure}
+	opt := rnuca.RunOptions{Warm: *warm, Measure: *measure}
 	if *all {
 		recordAll(id, opt, *set, *seeds, *jobs, *dir)
 		return
@@ -149,7 +150,7 @@ func record(args []string) {
 		w.Seed = *seed
 	}
 
-	res, err := rnuca.Record(w, id, opt, *out)
+	res, err := recordOne(w, id, opt, *out)
 	if err != nil {
 		fatalf("record: %v", err)
 	}
@@ -168,11 +169,21 @@ func record(args []string) {
 		*out, total, st.Size(), float64(st.Size())/float64(total))
 }
 
+// recordOne runs one recording job for a workload under a design.
+func recordOne(w workload.Spec, id rnuca.DesignID, opt rnuca.RunOptions, out string) (rnuca.Result, error) {
+	job := rnuca.Job{
+		Input:   rnuca.FromWorkload(w),
+		Designs: []rnuca.DesignID{id},
+		Options: opt,
+	}
+	return job.Record(context.Background(), out)
+}
+
 // recordAll fans every catalog workload x seed across parallel workers,
 // one trace file per (workload, seed) under dir. Seed variants follow
 // the library's batch convention (base + k*0x9E37), so trace k of a
 // workload matches batch k of a generator run.
-func recordAll(id rnuca.DesignID, opt rnuca.Options, set string, seeds, jobs int, dir string) {
+func recordAll(id rnuca.DesignID, opt rnuca.RunOptions, set string, seeds, jobs int, dir string) {
 	if dir == "" {
 		fatalf("record -all: -dir is required")
 	}
@@ -233,7 +244,7 @@ func recordAll(id rnuca.DesignID, opt rnuca.Options, set string, seeds, jobs int
 				j := queue[next]
 				next++
 				mu.Unlock()
-				res, err := rnuca.Record(j.spec, id, opt, j.path)
+				res, err := recordOne(j.spec, id, opt, j.path)
 				mu.Lock()
 				if err != nil {
 					failed++
@@ -599,6 +610,7 @@ func replay(args []string) {
 	batches := fs.Int("batches", 1, "parallel replay engines per design")
 	shards := fs.Int("shards", 0, "parallel trace-decode workers per engine (0 = one per CPU, 1 = sequential; needs a v2 indexed trace)")
 	window := fs.String("window", "", "replay only records START:N of the trace (needs a v2 indexed trace)")
+	traceOut := fs.String("trace-out", "", "write the replay's per-stage span trace as JSON to this path")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -641,6 +653,12 @@ func replay(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var spans *obs.Trace
+	if *traceOut != "" {
+		spans = obs.NewTrace(0)
+		ctx = obs.ContextWithTrace(ctx, spans)
+	}
+
 	in := rnuca.FromTrace(path).Sharded(*shards)
 	if *window != "" {
 		start, n := parseWindow(*window)
@@ -680,6 +698,15 @@ func replay(args []string) {
 		r := results[id]
 		fmt.Printf("  %-6s %-8.4f %-10d %-9d %+.1f%%\n",
 			id, r.CPI(), r.OffChipMisses, r.NetMessages, 100*r.Speedup(base.Result))
+	}
+	if spans != nil {
+		if err := obs.WriteTraceFile(*traceOut, spans); err != nil {
+			fatalf("replay: %v", err)
+		}
+		fmt.Printf("stage breakdown (%s):\n", *traceOut)
+		for _, st := range spans.Stages() {
+			fmt.Printf("  %-14s %9.4fs x%d\n", st.Stage, st.Seconds, st.Count)
+		}
 	}
 	if interrupted {
 		os.Exit(130)

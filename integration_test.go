@@ -1,6 +1,7 @@
 package rnuca_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,6 +13,25 @@ import (
 	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
 )
+
+// record tees a workload run's references to path via the Job API.
+func record(t *testing.T, w rnuca.Workload, id rnuca.DesignID, opt rnuca.RunOptions, path string) rnuca.Result {
+	t.Helper()
+	job := rnuca.Job{Input: rnuca.FromWorkload(w), Designs: []rnuca.DesignID{id}, Options: opt}
+	r, err := job.Record(context.Background(), path)
+	if err != nil {
+		t.Fatalf("record %s under %s: %v", w.Name, id, err)
+	}
+	return r
+}
+
+// replay runs a single-design replay job over in (a FromTrace input,
+// optionally windowed or sharded), surfacing the error for the refusal
+// cases the tests probe.
+func replay(in rnuca.Input, id rnuca.DesignID, opt rnuca.RunOptions) (rnuca.Result, error) {
+	job := rnuca.Job{Input: in, Designs: []rnuca.DesignID{id}, Options: opt}
+	return job.Run(context.Background())
+}
 
 // Full-pipeline integration: every design runs a real workload through the
 // engine, the chassis audit passes afterwards, and the results carry
@@ -112,14 +132,11 @@ func TestIntegrationBitIdentical(t *testing.T) {
 // header must carry the run's provenance.
 func TestIntegrationRecordReplay(t *testing.T) {
 	w := rnuca.OLTPDB2()
-	opt := rnuca.Options{Warm: 5_000, Measure: 15_000}
+	opt := rnuca.RunOptions{Warm: 5_000, Measure: 15_000}
 	path := filepath.Join(t.TempDir(), "oltp.rnt")
 
-	live := rnuca.Run(w, rnuca.DesignRNUCA, opt)
-	rec, err := rnuca.Record(w, rnuca.DesignRNUCA, opt, path)
-	if err != nil {
-		t.Fatalf("record: %v", err)
-	}
+	live := run(t, w, rnuca.DesignRNUCA, opt)
+	rec := record(t, w, rnuca.DesignRNUCA, opt, path)
 	if rec.Result != live.Result {
 		t.Fatalf("recording run diverged from live run:\n%+v\n%+v", rec.Result, live.Result)
 	}
@@ -137,7 +154,7 @@ func TestIntegrationRecordReplay(t *testing.T) {
 		t.Fatalf("header declares %d refs, run consumed %d", hdr.Refs, want)
 	}
 
-	rep, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{})
+	rep, err := replay(rnuca.FromTrace(path), rnuca.DesignRNUCA, rnuca.RunOptions{})
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -148,13 +165,13 @@ func TestIntegrationRecordReplay(t *testing.T) {
 	// A different design replays the same trace without error (its result
 	// legitimately differs from its own live run — the reference schedule
 	// is the recorded one).
-	if _, err := rnuca.Replay(path, rnuca.DesignShared, rnuca.Options{}); err != nil {
+	if _, err := replay(rnuca.FromTrace(path), rnuca.DesignShared, rnuca.RunOptions{}); err != nil {
 		t.Fatalf("cross-design replay: %v", err)
 	}
 
 	// A replay asking for more refs than the trace holds would recycle
 	// recorded references; it must be refused up front.
-	if _, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{Measure: 50_000}); err == nil {
+	if _, err := replay(rnuca.FromTrace(path), rnuca.DesignRNUCA, rnuca.RunOptions{Measure: 50_000}); err == nil {
 		t.Fatal("oversized replay accepted")
 	}
 
@@ -168,7 +185,7 @@ func TestIntegrationRecordReplay(t *testing.T) {
 	if err := os.WriteFile(trunc, whole[:len(whole)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rnuca.Replay(trunc, rnuca.DesignRNUCA, rnuca.Options{}); err == nil {
+	if _, err := replay(rnuca.FromTrace(trunc), rnuca.DesignRNUCA, rnuca.RunOptions{}); err == nil {
 		t.Fatal("truncated trace replayed without error")
 	}
 }
@@ -177,15 +194,13 @@ func TestIntegrationRecordReplay(t *testing.T) {
 // decoding across workers must reproduce the sequential replay's Result
 // bit for bit (the simulation consumes the same refs in the same order),
 // windows must replay without error and differ from full replays only
-// through which refs they feed, and ReplayCompare must carry the options
+// through which refs they feed, and Job.Compare must carry the input
 // through to every design.
 func TestIntegrationShardedWindowedReplay(t *testing.T) {
 	w := rnuca.OLTPDB2()
-	opt := rnuca.Options{Warm: 10_000, Measure: 30_000}
+	opt := rnuca.RunOptions{Warm: 10_000, Measure: 30_000}
 	path := filepath.Join(t.TempDir(), "oltp.rnt")
-	if _, err := rnuca.Record(w, rnuca.DesignRNUCA, opt, path); err != nil {
-		t.Fatalf("record: %v", err)
-	}
+	record(t, w, rnuca.DesignRNUCA, opt, path)
 	x, err := tracefile.OpenIndexed(path)
 	if err != nil {
 		t.Fatalf("the recorder no longer writes an indexed trace: %v", err)
@@ -195,12 +210,12 @@ func TestIntegrationShardedWindowedReplay(t *testing.T) {
 	}
 	x.Close()
 
-	seq, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{})
+	seq, err := replay(rnuca.FromTrace(path), rnuca.DesignRNUCA, rnuca.RunOptions{})
 	if err != nil {
 		t.Fatalf("sequential replay: %v", err)
 	}
 	for _, shards := range []int{2, 5} {
-		sh, err := rnuca.Replay(path, rnuca.DesignRNUCA, rnuca.Options{Shards: shards})
+		sh, err := replay(rnuca.FromTrace(path).Sharded(shards), rnuca.DesignRNUCA, rnuca.RunOptions{})
 		if err != nil {
 			t.Fatalf("replay with %d shards: %v", shards, err)
 		}
@@ -210,8 +225,8 @@ func TestIntegrationShardedWindowedReplay(t *testing.T) {
 	}
 
 	// A window over the whole trace with the same split is the same run.
-	whole, err := rnuca.Replay(path, rnuca.DesignRNUCA,
-		rnuca.Options{Warm: opt.Warm, Measure: opt.Measure, WindowRefs: uint64(opt.Warm + opt.Measure)})
+	whole, err := replay(rnuca.FromTrace(path).Window(0, uint64(opt.Warm+opt.Measure)), rnuca.DesignRNUCA,
+		rnuca.RunOptions{Warm: opt.Warm, Measure: opt.Measure})
 	if err != nil {
 		t.Fatalf("whole-trace window replay: %v", err)
 	}
@@ -221,13 +236,12 @@ func TestIntegrationShardedWindowedReplay(t *testing.T) {
 
 	// A mid-trace window replays cleanly, sharded or not, with identical
 	// results between the two decode paths.
-	winOpt := rnuca.Options{WindowStart: 10_000, WindowRefs: 20_000}
-	win, err := rnuca.Replay(path, rnuca.DesignRNUCA, winOpt)
+	winIn := rnuca.FromTrace(path).Window(10_000, 20_000)
+	win, err := replay(winIn, rnuca.DesignRNUCA, rnuca.RunOptions{})
 	if err != nil {
 		t.Fatalf("window replay: %v", err)
 	}
-	winOpt.Shards = 3
-	winSh, err := rnuca.Replay(path, rnuca.DesignRNUCA, winOpt)
+	winSh, err := replay(winIn.Sharded(3), rnuca.DesignRNUCA, rnuca.RunOptions{})
 	if err != nil {
 		t.Fatalf("sharded window replay: %v", err)
 	}
@@ -239,8 +253,11 @@ func TestIntegrationShardedWindowedReplay(t *testing.T) {
 	}
 
 	// Windows and shards flow through the multi-design comparison.
-	cmp, err := rnuca.ReplayCompare(path, []rnuca.DesignID{rnuca.DesignRNUCA, rnuca.DesignShared},
-		rnuca.Options{Shards: 2, WindowStart: 5_000, WindowRefs: 15_000})
+	cmpJob := rnuca.Job{
+		Input:   rnuca.FromTrace(path).Window(5_000, 15_000).Sharded(2),
+		Designs: []rnuca.DesignID{rnuca.DesignRNUCA, rnuca.DesignShared},
+	}
+	cmp, err := cmpJob.Compare(context.Background())
 	if err != nil {
 		t.Fatalf("sharded windowed compare: %v", err)
 	}
@@ -250,8 +267,8 @@ func TestIntegrationShardedWindowedReplay(t *testing.T) {
 
 	// Asking for more refs than the window holds is refused, like
 	// oversized whole-trace replays.
-	if _, err := rnuca.Replay(path, rnuca.DesignRNUCA,
-		rnuca.Options{WindowRefs: 10_000, Measure: 20_000}); err == nil {
+	if _, err := replay(rnuca.FromTrace(path).Window(0, 10_000), rnuca.DesignRNUCA,
+		rnuca.RunOptions{Measure: 20_000}); err == nil {
 		t.Fatal("oversized window replay accepted")
 	}
 }

@@ -11,7 +11,7 @@ import (
 	"fmt"
 
 	"rnuca"
-	"rnuca/internal/corpus"
+	"rnuca/internal/obs"
 	"rnuca/internal/resultcache"
 	"rnuca/internal/sim"
 	"rnuca/internal/trace"
@@ -124,40 +124,6 @@ func (c *Campaign) ctx() context.Context {
 	return context.Background()
 }
 
-// UseTrace registers a recorded trace for a workload under an explicit
-// name, without joining the ingested suite.
-//
-// Deprecated: use SetInput(rnuca.FromTrace(path)), which resolves the
-// workload from the trace header.
-func (c *Campaign) UseTrace(workloadName, path string) {
-	c.inputs[workloadName] = rnuca.FromTrace(path)
-}
-
-// UseTraceWindow registers records [start, start+refs) of a recorded
-// v2 trace for a workload (refs 0 = to the end).
-//
-// Deprecated: use SetInput(rnuca.FromTrace(path).Window(start, refs)).
-func (c *Campaign) UseTraceWindow(workloadName, path string, start, refs uint64) {
-	c.inputs[workloadName] = rnuca.FromTrace(path).Window(start, refs)
-}
-
-// UseIngested registers an ingested corpus (a foreign trace converted
-// by rnuca-trace convert / internal/ingest).
-//
-// Deprecated: use SetInput(rnuca.FromTrace(path)).
-func (c *Campaign) UseIngested(path string) (rnuca.Workload, error) {
-	return c.SetInput(rnuca.FromTrace(path))
-}
-
-// UseCorpus registers a stored corpus (internal/corpus) for replay and
-// the FigIngested suite, with cache keys carrying the store's content
-// digest.
-//
-// Deprecated: use SetInput(rnuca.FromCorpus(st, ref)).
-func (c *Campaign) UseCorpus(st *corpus.Store, ref string) (rnuca.Workload, error) {
-	return c.SetInput(rnuca.FromCorpus(st, ref))
-}
-
 // SetResultCache attaches a shared memoized result cache (see
 // internal/resultcache): every simulation the campaign runs is keyed by
 // its cell's canonical job encoding and consulted there before running,
@@ -177,18 +143,11 @@ func (c *Campaign) input(w rnuca.Workload) rnuca.Input {
 
 // cellJob assembles the canonical job for one campaign cell, applying
 // the campaign's decode sharding to replay inputs.
-func (c *Campaign) cellJob(in rnuca.Input, opt rnuca.Options, ids ...rnuca.DesignID) rnuca.Job {
+func (c *Campaign) cellJob(in rnuca.Input, opt rnuca.RunOptions, ids ...rnuca.DesignID) rnuca.Job {
 	if in.Replays() && c.Shards > 0 {
 		in = in.Sharded(c.Shards)
 	}
-	j := rnuca.Job{Input: in, Designs: ids, Options: rnuca.RunOptions{
-		Warm:               opt.Warm,
-		Measure:            opt.Measure,
-		Batches:            opt.Batches,
-		InstrClusterSize:   opt.InstrClusterSize,
-		PrivateClusterSize: opt.PrivateClusterSize,
-		Config:             opt.Config,
-	}}
+	j := rnuca.Job{Input: in, Designs: ids, Options: opt}
 	if c.gauge != nil {
 		j.Options.Progress = c.gauge.Observe
 	}
@@ -198,7 +157,7 @@ func (c *Campaign) cellJob(in rnuca.Input, opt rnuca.Options, ids ...rnuca.Desig
 // run dispatches one workload x design simulation to the registered
 // input (or the generator), through the shared result cache when one
 // is attached.
-func (c *Campaign) run(w rnuca.Workload, id rnuca.DesignID, opt rnuca.Options) rnuca.Result {
+func (c *Campaign) run(w rnuca.Workload, id rnuca.DesignID, opt rnuca.RunOptions) rnuca.Result {
 	job := c.cellJob(c.input(w), opt, id)
 	return c.cached(w.Name, string(id), job, job.Run)
 }
@@ -248,8 +207,28 @@ func (c *Campaign) cached(workloadName, designKey string, keyJob rnuca.Job, run 
 	return v.(rnuca.Result)
 }
 
-func (c *Campaign) opts() rnuca.Options {
-	return rnuca.Options{Warm: c.Scale.Warm, Measure: c.Scale.Measure, Batches: c.Scale.Batches}
+func (c *Campaign) opts() rnuca.RunOptions {
+	return rnuca.RunOptions{Warm: c.Scale.Warm, Measure: c.Scale.Measure, Batches: c.Scale.Batches}
+}
+
+// runGen executes one generator-driven cell under the campaign's
+// context, cache, and panic conventions. The extension sweeps use it
+// instead of run because they mutate the workload or configuration:
+// a registered trace input (recorded under the catalog parameters)
+// must not substitute for the generator there.
+func (c *Campaign) runGen(w rnuca.Workload, id rnuca.DesignID, opt rnuca.RunOptions) rnuca.Result {
+	job := c.cellJob(rnuca.FromWorkload(w), opt, id)
+	return c.cached(w.Name, string(id), job, job.Run)
+}
+
+// runMaker executes one maker-built cell — an ablation design with no
+// canonical encoding, hence never cached — under the campaign's
+// context and panic conventions. label names the methodology in
+// failure messages.
+func (c *Campaign) runMaker(label string, w rnuca.Workload, opt rnuca.RunOptions, mk func(*sim.Chassis) sim.Design) rnuca.Result {
+	j := c.cellJob(rnuca.FromWorkload(w), opt)
+	j.Maker = mk
+	return c.cached(w.Name, label, j, j.Run)
 }
 
 // Result returns (running on demand) the cached result for one workload
@@ -278,7 +257,7 @@ func (c *Campaign) Result(w rnuca.Workload, id rnuca.DesignID) rnuca.Result {
 // a Maker job pinning the adaptive controller, keyed under the
 // "A/adaptive" methodology label — the single-variant result differs
 // from the best-of-six "A" cell, so they must not share an entry.
-func (c *Campaign) runAdaptiveASR(w rnuca.Workload, opt rnuca.Options) rnuca.Result {
+func (c *Campaign) runAdaptiveASR(w rnuca.Workload, opt rnuca.RunOptions) rnuca.Result {
 	in := c.input(w)
 	keyJob := c.cellJob(in, opt, rnuca.DesignID("A/adaptive"))
 	runJob := c.cellJob(in, opt)
@@ -324,6 +303,9 @@ const ctxCheckEvery = 1 << 13
 // read through the chunk index, so sampling a region never scans the
 // file's front.
 func (c *Campaign) analyze(w rnuca.Workload) *trace.Analyzer {
+	sp := obs.StartSpan(c.ctx(), "classify.pass")
+	sp.SetAttr("workload", w.Name)
+	defer sp.End()
 	an := trace.NewAnalyzer(w.Cores)
 	in, ok := c.inputs[w.Name]
 	if !ok || !in.Replays() {

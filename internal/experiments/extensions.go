@@ -39,7 +39,7 @@ func (c *Campaign) PrivateClusterAblation() *report.Table {
 	}
 	for _, size := range []int{1, 2, 4} {
 		opt.PrivateClusterSize = size
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+		r := c.runGen(w, rnuca.DesignRNUCA, opt)
 		t.AddRow(fmt.Sprintf("size-%d", size),
 			fmt.Sprintf("%.3f", r.CPI()),
 			fmt.Sprintf("%.3f", r.CPIStack[sim.BucketOffChip]),
@@ -57,7 +57,7 @@ func (c *Campaign) PrivateClusterAblation() *report.Table {
 			sizes[i] = 1
 		}
 	}
-	r := rnuca.RunWith(w, opt, func(ch *sim.Chassis) sim.Design {
+	r := c.runMaker("R/per-thread", w, opt, func(ch *sim.Chassis) sim.Design {
 		return design.NewReactivePerThreadPrivate(ch, sizes)
 	})
 	t.AddRow("per-thread {2,1,...}",
@@ -82,8 +82,8 @@ func (c *Campaign) TechnologyScaling() *report.Table {
 		w.Cores = cores
 		cfg := rnuca.ConfigFor(w)
 		opt.Config = &cfg
-		s := rnuca.Run(w, rnuca.DesignShared, opt)
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+		s := c.runGen(w, rnuca.DesignShared, opt)
+		r := c.runGen(w, rnuca.DesignRNUCA, opt)
 		t.AddRow(fmt.Sprint(cores), fmt.Sprintf("%dx%d", cfg.GridW, cfg.GridH),
 			fmt.Sprintf("%.3f", s.CPI()), fmt.Sprintf("%.3f", r.CPI()),
 			fmt.Sprintf("%+.1f%%", 100*r.Speedup(s.Result)))
@@ -106,8 +106,8 @@ func (c *Campaign) MeshVsTorus() *report.Table {
 		if mesh {
 			name = "mesh"
 		}
-		s := rnuca.Run(w, rnuca.DesignShared, opt)
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+		s := c.runGen(w, rnuca.DesignShared, opt)
+		r := c.runGen(w, rnuca.DesignRNUCA, opt)
 		t.AddRow(name, fmt.Sprintf("%.3f", s.CPI()), fmt.Sprintf("%.3f", r.CPI()))
 	}
 	return t
@@ -128,9 +128,9 @@ func (c *Campaign) MemLatencySweep() *report.Table {
 		cfg := rnuca.ConfigFor(w)
 		cfg.MemAccessCycles = lat
 		opt.Config = &cfg
-		p := rnuca.Run(w, rnuca.DesignPrivate, opt)
-		s := rnuca.Run(w, rnuca.DesignShared, opt)
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+		p := c.runGen(w, rnuca.DesignPrivate, opt)
+		s := c.runGen(w, rnuca.DesignShared, opt)
+		r := c.runGen(w, rnuca.DesignRNUCA, opt)
 		t.AddRow(fmt.Sprint(lat),
 			fmt.Sprintf("%.3f", p.CPI()), fmt.Sprintf("%.3f", s.CPI()), fmt.Sprintf("%.3f", r.CPI()),
 			fmt.Sprintf("%+.1f%%", 100*r.Speedup(p.Result)),
@@ -151,11 +151,11 @@ func (c *Campaign) TrafficComparison() *report.Table {
 	for _, id := range []rnuca.DesignID{rnuca.DesignPrivate, "Pb", rnuca.DesignShared, rnuca.DesignRNUCA} {
 		var r rnuca.Result
 		if id == "Pb" {
-			r = rnuca.RunWith(w, opt, func(ch *sim.Chassis) sim.Design {
+			r = c.runMaker("Pb", w, opt, func(ch *sim.Chassis) sim.Design {
 				return design.NewPrivateBroadcast(ch)
 			})
 		} else {
-			r = rnuca.Run(w, id, opt)
+			r = c.runGen(w, id, opt)
 		}
 		t.AddRow(string(id), fmt.Sprintf("%.3f", r.CPI()),
 			fmt.Sprintf("%.2f", float64(r.NetMessages)/float64(r.Refs)),
@@ -183,8 +183,8 @@ func (c *Campaign) ContentionModelAblation() *report.Table {
 		if queued {
 			name = "link-queue (FCFS)"
 		}
-		s := rnuca.Run(w, rnuca.DesignShared, opt)
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+		s := c.runGen(w, rnuca.DesignShared, opt)
+		r := c.runGen(w, rnuca.DesignRNUCA, opt)
 		wait := "-"
 		if queued {
 			wait = fmt.Sprintf("%.3f", r.NetWaitCycles/float64(r.Refs))
@@ -208,7 +208,7 @@ func (c *Campaign) MigrationStress() *report.Table {
 		opt.Warm, opt.Measure = 128_000, 256_000
 	}
 	for _, w := range []rnuca.Workload{workload.MIX(), workload.MIXMigrating()} {
-		r := rnuca.Run(w, rnuca.DesignRNUCA, opt)
+		r := c.runGen(w, rnuca.DesignRNUCA, opt)
 		share := r.CPIStack[sim.BucketReclass] / r.CPI()
 		mis := float64(r.MisclassifiedAccesses) / float64(max64(r.ClassifiedAccesses, 1))
 		t.AddRow(w.Name, fmt.Sprintf("%.3f", r.CPI()),

@@ -11,7 +11,7 @@ import (
 )
 
 // IngestedWorkloads returns the workloads registered through
-// UseIngested, sorted by name for deterministic table order.
+// SetInput, sorted by name for deterministic table order.
 func (c *Campaign) IngestedWorkloads() []rnuca.Workload {
 	out := make([]rnuca.Workload, 0, len(c.ingested))
 	for _, w := range c.ingested {

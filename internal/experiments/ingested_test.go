@@ -28,9 +28,9 @@ func TestCampaignUseIngested(t *testing.T) {
 	}
 
 	c := NewCampaign(Scale{Warm: 120, Measure: 480, TraceRefs: 1_000, Batches: 1})
-	w, err := c.UseIngested(path)
+	w, err := c.SetInput(rnuca.FromTrace(path))
 	if err != nil {
-		t.Fatalf("UseIngested: %v", err)
+		t.Fatalf("SetInput: %v", err)
 	}
 	if w.Name != "din-ingested" || w.Cores != 4 {
 		t.Fatalf("synthesized workload %+v", w)

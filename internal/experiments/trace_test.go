@@ -1,11 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
 	"rnuca"
 )
+
+// recordTrace tees a workload run's references to path.
+func recordTrace(t *testing.T, w rnuca.Workload, opt rnuca.RunOptions, path string) rnuca.Result {
+	t.Helper()
+	job := rnuca.Job{Input: rnuca.FromWorkload(w), Designs: []rnuca.DesignID{rnuca.DesignRNUCA}, Options: opt}
+	r, err := job.Record(context.Background(), path)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return r
+}
 
 // A campaign backed by a recorded trace replays instead of generating,
 // and its same-design results match the live run that recorded the
@@ -13,16 +25,15 @@ import (
 func TestCampaignUseTrace(t *testing.T) {
 	w := rnuca.OLTPDB2()
 	scale := Scale{Warm: 4_000, Measure: 10_000, TraceRefs: 8_000, Batches: 1}
-	opt := rnuca.Options{Warm: scale.Warm, Measure: scale.Measure}
+	opt := rnuca.RunOptions{Warm: scale.Warm, Measure: scale.Measure}
 	path := filepath.Join(t.TempDir(), "oltp.rnt")
 
-	live, err := rnuca.Record(w, rnuca.DesignRNUCA, opt, path)
-	if err != nil {
-		t.Fatalf("record: %v", err)
-	}
+	live := recordTrace(t, w, opt, path)
 
 	c := NewCampaign(scale)
-	c.UseTrace(w.Name, path)
+	if _, err := c.SetInput(rnuca.FromTrace(path)); err != nil {
+		t.Fatalf("SetInput: %v", err)
+	}
 	if got := c.Result(w, rnuca.DesignRNUCA); got.Result != live.Result {
 		t.Fatalf("trace-backed campaign diverged:\n%+v\n%+v", got.Result, live.Result)
 	}
@@ -49,14 +60,13 @@ func TestCampaignUseTrace(t *testing.T) {
 func TestCampaignUseTraceWindow(t *testing.T) {
 	w := rnuca.OLTPDB2()
 	path := filepath.Join(t.TempDir(), "oltp.rnt")
-	if _, err := rnuca.Record(w, rnuca.DesignRNUCA,
-		rnuca.Options{Warm: 6_000, Measure: 18_000}, path); err != nil {
-		t.Fatalf("record: %v", err)
-	}
+	recordTrace(t, w, rnuca.RunOptions{Warm: 6_000, Measure: 18_000}, path)
 
 	scale := Scale{Warm: 2_000, Measure: 6_000, TraceRefs: 9_000, Batches: 1}
 	c := NewCampaign(scale)
-	c.UseTraceWindow(w.Name, path, 4_000, 12_000)
+	if _, err := c.SetInput(rnuca.FromTrace(path).Window(4_000, 12_000)); err != nil {
+		t.Fatalf("SetInput: %v", err)
+	}
 	got := c.Result(w, rnuca.DesignRNUCA)
 	if got.CPI() <= 1 {
 		t.Fatalf("windowed replay CPI %v", got.CPI())
@@ -65,7 +75,9 @@ func TestCampaignUseTraceWindow(t *testing.T) {
 	// The same window with sharded decode folds to identical results.
 	sharded := NewCampaign(scale)
 	sharded.Shards = 3
-	sharded.UseTraceWindow(w.Name, path, 4_000, 12_000)
+	if _, err := sharded.SetInput(rnuca.FromTrace(path).Window(4_000, 12_000)); err != nil {
+		t.Fatalf("SetInput: %v", err)
+	}
 	if sh := sharded.Result(w, rnuca.DesignRNUCA); sh.Result != got.Result {
 		t.Fatalf("sharded windowed campaign diverged:\n%+v\n%+v", sh.Result, got.Result)
 	}

@@ -1,6 +1,7 @@
 package ingest_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,10 +16,16 @@ import (
 
 func fixture(name string) string { return filepath.Join("testdata", name) }
 
+// replay runs one design over a converted corpus through the Job API.
+func replay(path string, id rnuca.DesignID, opt rnuca.RunOptions) (rnuca.Result, error) {
+	job := rnuca.Job{Input: rnuca.FromTrace(path), Designs: []rnuca.DesignID{id}, Options: opt}
+	return job.Run(context.Background())
+}
+
 // The acceptance path: the checked-in Dinero fixture converts into a
 // valid indexed v2 tracefile whose refs carry inferred classes, and the
 // corpus replays under R-NUCA and the other designs through
-// rnuca.Replay without error.
+// the rnuca Job API without error.
 func TestConvertDineroReplays(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "tiny-din.rnt")
 	sum, err := ingest.Convert([]string{fixture("tiny.din")}, out, ingest.Options{
@@ -55,7 +62,7 @@ func TestConvertDineroReplays(t *testing.T) {
 	}
 
 	for _, id := range []rnuca.DesignID{rnuca.DesignRNUCA, rnuca.DesignShared, rnuca.DesignPrivate} {
-		res, err := rnuca.Replay(out, id, rnuca.Options{Warm: 120, Measure: 480})
+		res, err := replay(out, id, rnuca.RunOptions{Warm: 120, Measure: 480})
 		if err != nil {
 			t.Fatalf("replay %s: %v", id, err)
 		}
@@ -66,7 +73,7 @@ func TestConvertDineroReplays(t *testing.T) {
 
 	// The derived run split: with no explicit counts and no recorded
 	// split, replay sizes itself to the corpus (a fifth warms).
-	if _, err := rnuca.Replay(out, rnuca.DesignRNUCA, rnuca.Options{}); err != nil {
+	if _, err := replay(out, rnuca.DesignRNUCA, rnuca.RunOptions{}); err != nil {
 		t.Fatalf("replay with derived split: %v", err)
 	}
 }
@@ -93,7 +100,7 @@ func TestConvertFilesModeReplays(t *testing.T) {
 		t.Fatalf("champ input detected as %q", sum.Inputs[1].Format)
 	}
 	for _, id := range []rnuca.DesignID{rnuca.DesignRNUCA, rnuca.DesignShared} {
-		if _, err := rnuca.Replay(out, id, rnuca.Options{Warm: 100, Measure: 400}); err != nil {
+		if _, err := replay(out, id, rnuca.RunOptions{Warm: 100, Measure: 400}); err != nil {
 			t.Fatalf("replay %s: %v", id, err)
 		}
 	}

@@ -17,7 +17,7 @@
 //
 // Convert wires the three together; cmd/rnuca-trace's "convert"
 // subcommand is the command-line front end, and
-// experiments.Campaign.UseIngested registers a converted corpus for the
+// experiments.Campaign.SetInput registers a converted corpus for the
 // figure analyses and design comparisons.
 //
 // # Input formats
@@ -109,7 +109,7 @@
 //	})
 //	...
 //	c := experiments.NewCampaign(experiments.Quick())
-//	w, err := c.UseIngested("web.rnt")     // registers + synthesizes the workload
-//	res := c.Result(w, rnuca.DesignRNUCA)  // replays the corpus
-//	tables := c.FigIngested()              // Figure 2–5 analyses over it
+//	w, err := c.SetInput(rnuca.FromTrace("web.rnt")) // registers + synthesizes the workload
+//	res := c.Result(w, rnuca.DesignRNUCA)            // replays the corpus
+//	tables := c.FigIngested()                        // Figure 2–5 analyses over it
 package ingest

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden test freezes the text exposition format: every consumer
+// (serve's /metrics scrape, the tests that parse it by line prefix)
+// depends on this exact shape.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jobs_total", "Jobs seen.")
+	c.Add(3)
+	g := reg.Gauge("queue_depth", "Jobs queued.")
+	g.Set(-2)
+	v := reg.CounterVec("cache_ops_total", "Cache operations.", "op")
+	v.With("hit").Add(5)
+	v.With("miss").Inc()
+	h := reg.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(7)
+	hv := reg.HistogramVec("wait_seconds", "Wait.", []float64{1}, "kind")
+	hv.With("sim").Observe(0.25)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Jobs seen.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP queue_depth Jobs queued.
+# TYPE queue_depth gauge
+queue_depth -2
+# HELP cache_ops_total Cache operations.
+# TYPE cache_ops_total counter
+cache_ops_total{op="hit"} 5
+cache_ops_total{op="miss"} 1
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 7.55
+latency_seconds_count 3
+# HELP wait_seconds Wait.
+# TYPE wait_seconds histogram
+wait_seconds_bucket{kind="sim",le="1"} 1
+wait_seconds_bucket{kind="sim",le="+Inf"} 1
+wait_seconds_sum{kind="sim"} 0.25
+wait_seconds_count{kind="sim"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("encoding drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// A family with no children yet (a vec nobody touched) renders
+// nothing — no dangling TYPE headers.
+func TestWriteTextSkipsEmptyFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("unused_total", "Never incremented.", "kind")
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty vec rendered %q", b.String())
+	}
+}
+
+// Histogram boundaries follow Prometheus le semantics: an observation
+// equal to a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5} {
+		h.Observe(v)
+	}
+	// raw (non-cumulative) counts per bucket: le=1, le=2, le=4, +Inf
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Fatalf("bucket %d count = %d, want %d (all %v)", i, h.counts[i], w, h.counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 13 || got > 13.001 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted buckets must panic")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("esc_total", "", "p").With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{p="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("got %q, want line %q", b.String(), want)
+	}
+}
+
+// OnCollect hooks run before encoding, under the render lock, so a
+// hook-maintained family is consistent within one scrape.
+func TestOnCollectRunsBeforeRender(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Gauge("a", "")
+	b := reg.Gauge("b", "")
+	n := int64(0)
+	reg.OnCollect(func() {
+		n++
+		a.Set(n)
+		b.Set(-n)
+	})
+	var out strings.Builder
+	if err := reg.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "a 1\n") || !strings.Contains(out.String(), "b -1\n") {
+		t.Fatalf("hook did not run before render:\n%s", out.String())
+	}
+}
+
+// ExpBuckets is the layout constructor everything uses; pin its shape.
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if b := DefSecondsBuckets(); len(b) != 19 || b[0] != 0.001 {
+		t.Fatalf("default layout drifted: %v", b)
+	}
+}
+
+// Metrics are safe for concurrent use with rendering (backed by the
+// race detector in CI).
+func TestConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n_total", "")
+	h := reg.HistogramVec("h_seconds", "", []float64{1}, "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.With("a").Observe(float64(j))
+				if j%100 == 0 {
+					var b strings.Builder
+					_ = reg.WriteText(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Fatalf("count = %d", c.Value())
+	}
+}

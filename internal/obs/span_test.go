@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestSpanNoTraceIsNoop(t *testing.T) {
+	sp := StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("no trace in context must yield a nil span")
+	}
+	// All methods must be safe on nil.
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp = StartSpan(nil, "x") //nolint:staticcheck // nil ctx is part of the contract
+	sp.End()
+}
+
+func TestSpanRecordsIntoTrace(t *testing.T) {
+	tr := NewTrace(0)
+	ctx := ContextWithTrace(context.Background(), tr)
+	sp := StartSpan(ctx, "sim.cell")
+	sp.SetAttr("design", "R")
+	sp.End()
+	sp.End() // double End records once
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "sim.cell" || s.Attrs["design"] != "R" {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Seconds < 0 {
+		t.Fatalf("negative duration %v", s.Seconds)
+	}
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+}
+
+func TestTraceRingDropsOldest(t *testing.T) {
+	tr := NewTrace(3)
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		tr.StartSpan(name).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d", len(spans))
+	}
+	if spans[0].Name != "c" || spans[2].Name != "e" {
+		t.Fatalf("ring kept %v %v", spans[0].Name, spans[2].Name)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestStagesAggregatesByName(t *testing.T) {
+	tr := NewTrace(0)
+	tr.add(SpanData{Name: "sim.cell", Seconds: 1})
+	tr.add(SpanData{Name: "result.fold", Seconds: 0.25})
+	tr.add(SpanData{Name: "sim.cell", Seconds: 2})
+	st := tr.Stages()
+	if len(st) != 2 {
+		t.Fatalf("stages = %v", st)
+	}
+	if st[0].Stage != "sim.cell" || st[0].Seconds != 3 || st[0].Count != 2 {
+		t.Fatalf("sim.cell = %+v", st[0])
+	}
+	if st[1].Stage != "result.fold" || st[1].Count != 1 {
+		t.Fatalf("result.fold = %+v", st[1])
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace(64)
+	ctx := ContextWithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := StartSpan(ctx, "sim.cell")
+				sp.SetAttr("k", "v")
+				sp.End()
+				_ = tr.Spans()
+				_ = tr.Stages()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Dropped() + uint64(len(tr.Spans())); got != 800 {
+		t.Fatalf("recorded %d spans", got)
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// TraceFile is the on-disk shape the CLIs' -trace-out flags write: the
+// buffered spans in completion order, their per-stage aggregation, and
+// how many early spans the bounded ring discarded.
+type TraceFile struct {
+	Spans   []SpanData    `json:"spans"`
+	Stages  []StageTiming `json:"stages"`
+	Dropped uint64        `json:"dropped,omitempty"`
+}
+
+// WriteTraceFile writes a trace's spans as indented JSON at path.
+func WriteTraceFile(path string, t *Trace) error {
+	b, err := json.MarshalIndent(TraceFile{
+		Spans:   t.Spans(),
+		Stages:  t.Stages(),
+		Dropped: t.Dropped(),
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

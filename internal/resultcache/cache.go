@@ -8,8 +8,8 @@
 // Keys are canonical strings built by Key: the design (plus methodology
 // suffix when it changes results), the reference source (a corpus
 // content digest or a canonicalized workload spec), and the
-// result-relevant subset of rnuca.Options. Options that provably do not
-// change results (decode sharding, progress callbacks) are excluded, so
+// result-relevant subset of the job's RunOptions. Knobs that provably
+// cannot change results (decode sharding, progress callbacks) are excluded, so
 // a sharded replay hits the entry a sequential one populated. See key.go
 // for the exact canonicalization rules.
 //
@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"rnuca/internal/obs"
 )
 
 // DefaultEntries is the default LRU capacity.
@@ -89,6 +91,37 @@ type Cache struct {
 	flights map[string]*flight
 
 	hits, misses, shared, errs, evictions atomic.Uint64
+
+	// Registry mirrors of the counters above, attached by Instrument;
+	// nil until then. They are incremented at the same sites, so a
+	// scrape and a Metrics() snapshot always agree.
+	obsHits, obsMisses, obsShared, obsErrs, obsEvictions *obs.Counter
+}
+
+// Instrument registers the cache's counters and entry gauge on a
+// metrics registry under the rnuca_result_cache_* names the serve
+// layer exposes. Call once, before the cache sees traffic.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	c.obsHits = reg.Counter("rnuca_result_cache_hits_total",
+		"Result-cache lookups answered from a cached entry.")
+	c.obsMisses = reg.Counter("rnuca_result_cache_misses_total",
+		"Result-cache lookups that started a computation.")
+	c.obsShared = reg.Counter("rnuca_result_cache_shared_total",
+		"Result-cache lookups that joined an in-flight computation.")
+	c.obsErrs = reg.Counter("rnuca_result_cache_errors_total",
+		"Result-cache computations that failed (never cached).")
+	c.obsEvictions = reg.Counter("rnuca_result_cache_evictions_total",
+		"Entries evicted from the result-cache LRU.")
+	entries := reg.Gauge("rnuca_result_cache_entries",
+		"Entries currently held by the result cache.")
+	reg.OnCollect(func() { entries.Set(int64(c.Len())) })
+}
+
+// bump increments a registry mirror when one is attached.
+func bump(m *obs.Counter) {
+	if m != nil {
+		m.Inc()
+	}
 }
 
 type entry struct {
@@ -135,6 +168,7 @@ func (c *Cache) put(key string, val any) {
 		c.ll.Remove(tail)
 		delete(c.entries, tail.Value.(*entry).key)
 		c.evictions.Add(1)
+		bump(c.obsEvictions)
 	}
 }
 
@@ -153,6 +187,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 			v := el.Value.(*entry).val
 			c.mu.Unlock()
 			c.hits.Add(1)
+			bump(c.obsHits)
 			return v, Hit, nil
 		}
 		if f, ok := c.flights[key]; ok {
@@ -170,6 +205,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 			f.waiters++
 			c.mu.Unlock()
 			c.shared.Add(1)
+			bump(c.obsShared)
 			return c.wait(ctx, key, f, Shared)
 		}
 		// Start the flight. Its context is independent of any single
@@ -179,6 +215,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 		c.flights[key] = f
 		c.mu.Unlock()
 		c.misses.Add(1)
+		bump(c.obsMisses)
 		go func() {
 			v, err := runProtected(fctx, fn)
 			cancel()
@@ -188,6 +225,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 				c.put(key, v)
 			} else {
 				c.errs.Add(1)
+				bump(c.obsErrs)
 			}
 			delete(c.flights, key)
 			c.mu.Unlock()

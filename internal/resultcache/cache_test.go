@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rnuca"
+	"rnuca/internal/obs"
 	"rnuca/internal/sim"
 )
 
@@ -303,4 +304,64 @@ func TestConcurrentStress(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// Instrumented registry counters mirror Metrics() exactly — same
+// increment sites — including after concurrent traffic that exercises
+// hits, misses, errors, and evictions (CI runs this under -race).
+func TestInstrumentMirrorsMetrics(t *testing.T) {
+	c := New(4)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Six keys through a four-entry LRU: hits, misses, and
+				// evictions all occur; k5 always fails, so errors too.
+				key := fmt.Sprintf("k%d", (g+i)%6)
+				_, _, _ = c.Do(ctx, key, func(ctx context.Context) (any, error) {
+					if key == "k5" {
+						return nil, errors.New("boom")
+					}
+					return key, nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	m := c.Metrics()
+	if m.Hits == 0 || m.Misses == 0 || m.Errors == 0 || m.Evictions == 0 {
+		t.Fatalf("workload failed to exercise every counter: %+v", m)
+	}
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]uint64{
+		"rnuca_result_cache_hits_total":      m.Hits,
+		"rnuca_result_cache_misses_total":    m.Misses,
+		"rnuca_result_cache_shared_total":    m.Shared,
+		"rnuca_result_cache_errors_total":    m.Errors,
+		"rnuca_result_cache_evictions_total": m.Evictions,
+		"rnuca_result_cache_entries":         uint64(m.Entries),
+	} {
+		found := false
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				found = true
+				if rest != fmt.Sprint(want) {
+					t.Errorf("%s: registry says %s, Metrics says %d", name, rest, want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s not exposed", name)
+		}
+	}
 }

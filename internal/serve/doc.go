@@ -32,13 +32,9 @@
 // Workload inputs accept a catalog name or a full spec; corpus inputs
 // accept a digest, unique digest prefix, or store name, resolved (and
 // pinned to the content digest) at submission. Multi-design sim jobs
-// are the Figure 12 sweep. The pre-v2 shapes — {"kind":"run"/
-// "replay"/"compare", "workload"/"corpus"/"design(s)", flat
-// "options"} — are still accepted for one release, translated onto an
-// rnuca.Job at decode, and keyed identically to their canonical
-// twins. Specs are validated at submission: unknown workloads,
-// designs, corpus references, and negative options are rejected with
-// 400 before anything queues.
+// are the Figure 12 sweep. Specs are validated at submission: unknown
+// workloads, designs, corpus references, and negative options are
+// rejected with 400 before anything queues.
 //
 // # Progress and cancellation
 //
@@ -75,10 +71,28 @@
 // (?verify=1 re-hashes and re-decodes the object first); DELETE drops
 // a name; POST /v1/corpora/gc removes unreferenced objects.
 //
-// # Metrics and drain
+// # Observability and drain
 //
-// GET /metrics exposes job, worker, cache, and store counters in the
-// Prometheus text format. On SIGTERM, cmd/rnuca-serve stops accepting
-// jobs (503), finishes what is queued and running (Server.Drain), then
-// exits; a second signal force-cancels via Server.Close.
+// GET /metrics renders an internal/obs registry in the Prometheus
+// text format. The job ledger (rnuca_jobs_submitted_total,
+// _completed_total, _failed_total, _canceled_total, _rejected_total,
+// rnuca_jobs_queued, rnuca_jobs_running) is copied from one mutex-
+// guarded snapshot per scrape, so the series are mutually consistent
+// — submitted always equals completed+failed+canceled+queued+running
+// within a single response. Durations land in per-kind histograms:
+// rnuca_job_duration_seconds{kind,outcome} and
+// rnuca_job_queue_wait_seconds{kind}. The result cache exports
+// rnuca_result_cache_{hits,misses,shared,errors,evictions}_total and
+// _entries; the store exports rnuca_corpus_{objects,bytes}; the
+// engine's simulated references accumulate in
+// rnuca_engine_refs_simulated_total.
+//
+// Every job also buffers per-stage spans (internal/obs.Trace) —
+// job.queue, job.run, cache.lookup, replay.setup, sim.cell,
+// result.fold, classify.pass, convert.ingest, figure.build — which
+// GET /v1/jobs/{id}/trace returns with a per-stage aggregation.
+//
+// On SIGTERM, cmd/rnuca-serve stops accepting jobs (503), finishes
+// what is queued and running (Server.Drain), then exits; a second
+// signal force-cancels via Server.Close.
 package serve

@@ -27,6 +27,7 @@ const (
 //	GET    /v1/jobs/{id}         job status (SSE stream with
 //	                             Accept: text/event-stream)
 //	GET    /v1/jobs/{id}/events  SSE stream of status snapshots
+//	GET    /v1/jobs/{id}/trace   per-stage span trace (JSON)
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/corpora           list stored corpora
 //	POST   /v1/corpora[?name=N]  upload a corpus (raw trace bytes)
@@ -70,9 +71,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		if err := json.NewDecoder(body).Decode(&spec); err != nil {
-			// Decode failures (malformed JSON, unknown kinds, legacy
-			// shapes naming unknown workloads) are rejections too.
-			s.mRejected.Add(1)
+			// Decode failures (malformed JSON, unknown kinds) are
+			// rejections too.
+			s.reject()
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 			return
 		}
@@ -97,8 +98,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
-	if id == "" || (sub != "" && sub != "events") {
+	if id == "" || (sub != "" && sub != "events" && sub != "trace") {
 		writeError(w, http.StatusNotFound, errors.New("not found"))
+		return
+	}
+	if sub == "trace" {
+		s.handleTrace(w, r, id)
 		return
 	}
 	switch r.Method {
@@ -272,35 +277,36 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics renders the counters in the Prometheus text format.
+// handleMetrics renders the registry in the Prometheus text format.
+// Every sample in one scrape comes from a single collection pass (the
+// registry runs its OnCollect hooks under the render lock), so the
+// lifecycle gauges and counters are mutually consistent.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	cm := s.cache.Metrics()
-	emit := func(name, typ string, v any) {
-		fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", name, typ, name, v)
+	s.reg.WriteText(w)
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the job's buffered spans
+// in completion order plus the per-stage aggregation.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
 	}
-	emit("rnuca_jobs_submitted_total", "counter", s.mSubmitted.Load())
-	emit("rnuca_jobs_completed_total", "counter", s.mCompleted.Load())
-	emit("rnuca_jobs_failed_total", "counter", s.mFailed.Load())
-	emit("rnuca_jobs_canceled_total", "counter", s.mCanceled.Load())
-	emit("rnuca_jobs_rejected_total", "counter", s.mRejected.Load())
-	emit("rnuca_jobs_queued", "gauge", s.mQueued.Load())
-	emit("rnuca_jobs_running", "gauge", s.mRunning.Load())
-	emit("rnuca_workers", "gauge", s.cfg.Workers)
-	emit("rnuca_result_cache_hits_total", "counter", cm.Hits)
-	emit("rnuca_result_cache_misses_total", "counter", cm.Misses)
-	emit("rnuca_result_cache_shared_total", "counter", cm.Shared)
-	emit("rnuca_result_cache_errors_total", "counter", cm.Errors)
-	emit("rnuca_result_cache_evictions_total", "counter", cm.Evictions)
-	emit("rnuca_result_cache_entries", "gauge", cm.Entries)
-	if s.cfg.Store != nil {
-		if objects, bytes, err := s.cfg.Store.Stats(); err == nil {
-			emit("rnuca_corpus_objects", "gauge", objects)
-			emit("rnuca_corpus_bytes", "gauge", bytes)
-		}
+	j, ok := s.jobByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
 	}
+	writeJSON(w, http.StatusOK, JobTrace{
+		Job:     id,
+		Spans:   j.trace.Spans(),
+		Stages:  j.trace.Stages(),
+		Dropped: j.trace.Dropped(),
+	})
 }

@@ -15,8 +15,8 @@ import (
 	"rnuca/internal/corpus"
 	"rnuca/internal/experiments"
 	"rnuca/internal/ingest"
+	"rnuca/internal/obs"
 	"rnuca/internal/report"
-	"rnuca/internal/workload"
 )
 
 // JobState is a job's lifecycle position.
@@ -50,17 +50,11 @@ func (s JobState) terminal() bool {
 //
 // Convert and figure jobs — service-side pipelines, not single
 // simulations — keep kind-based spec objects.
-//
-// The pre-v2 shapes ({"kind":"run","workload":...,"design":...,
-// "options":{...}} and friends) are still accepted for one release
-// and are translated onto an rnuca.Job at decode; their kind label is
-// preserved in job statuses.
 type JobSpec struct {
 	// Kind is "sim" for canonical simulation payloads, "convert" or
-	// "figure" for the service pipelines, or a legacy label ("run",
-	// "replay", "compare") preserved from a pre-v2 submission.
+	// "figure" for the service pipelines.
 	Kind string
-	// Job is the simulation request (kinds sim/run/replay/compare).
+	// Job is the simulation request (kind sim).
 	Job *rnuca.Job
 	// Convert configures a convert job.
 	Convert *ConvertSpec
@@ -68,45 +62,8 @@ type JobSpec struct {
 	Figure *FigureSpec
 }
 
-// legacySpec is the pre-v2 wire shape, kept only to decode
-// one-release-compat submissions; it is not used anywhere else.
-type legacySpec struct {
-	Design   string        `json:"design"`
-	Designs  []string      `json:"designs"`
-	Workload string        `json:"workload"`
-	Corpus   string        `json:"corpus"`
-	Corpora  []string      `json:"corpora"`
-	Options  legacyOptions `json:"options"`
-}
-
-// legacyOptions is the pre-v2 flat options object.
-type legacyOptions struct {
-	Warm               int    `json:"warm"`
-	Measure            int    `json:"measure"`
-	Batches            int    `json:"batches"`
-	InstrClusterSize   int    `json:"instr_cluster_size"`
-	PrivateClusterSize int    `json:"private_cluster_size"`
-	Shards             int    `json:"shards"`
-	WindowStart        uint64 `json:"window_start"`
-	WindowRefs         uint64 `json:"window_refs"`
-	TraceRefs          int    `json:"trace_refs"`
-	ASRBest            bool   `json:"asr_best"`
-}
-
-// runOptions lowers the legacy flat options onto rnuca.RunOptions.
-func (o legacyOptions) runOptions() rnuca.RunOptions {
-	return rnuca.RunOptions{
-		Warm:               o.Warm,
-		Measure:            o.Measure,
-		Batches:            o.Batches,
-		InstrClusterSize:   o.InstrClusterSize,
-		PrivateClusterSize: o.PrivateClusterSize,
-	}
-}
-
 // UnmarshalJSON accepts the canonical rnuca.Job encoding (inline or
-// under "job"), the convert/figure spec shapes, and the legacy
-// kind-based shapes.
+// under "job") and the convert/figure spec shapes.
 func (s *JobSpec) UnmarshalJSON(b []byte) error {
 	var probe struct {
 		Kind    string          `json:"kind"`
@@ -114,7 +71,6 @@ func (s *JobSpec) UnmarshalJSON(b []byte) error {
 		Job     json.RawMessage `json:"job"`
 		Convert *ConvertSpec    `json:"convert"`
 		Figure  *FigureSpec     `json:"figure"`
-		legacySpec
 	}
 	if err := json.Unmarshal(b, &probe); err != nil {
 		return err
@@ -127,140 +83,36 @@ func (s *JobSpec) UnmarshalJSON(b []byte) error {
 		*s = JobSpec{Kind: "convert", Convert: probe.Convert}
 		return nil
 	case "figure":
-		fig := probe.Figure
-		if fig == nil {
-			// Legacy shape: corpora/designs at the top level, scale
-			// fields inside flat options.
-			fig = &FigureSpec{
-				Corpora: probe.Corpora,
-				Designs: probe.Designs,
-				Scale: experiments.Scale{
-					Warm:      probe.Options.Warm,
-					Measure:   probe.Options.Measure,
-					Batches:   probe.Options.Batches,
-					TraceRefs: probe.Options.TraceRefs,
-					ASRBest:   probe.Options.ASRBest,
-				},
-				Shards: probe.Options.Shards,
-			}
+		if probe.Figure == nil {
+			return fmt.Errorf("figure job needs a figure spec")
 		}
-		*s = JobSpec{Kind: "figure", Figure: fig}
+		*s = JobSpec{Kind: "figure", Figure: probe.Figure}
 		return nil
-	case "", "sim", "run", "replay", "compare":
-		kind := probe.Kind
-		if kind == "" {
-			kind = "sim"
-		}
-		// A canonical job — nested under "job" (the status echo shape,
-		// any kind label) or inline at the top level — wins over the
-		// legacy translation, so echoed statuses re-decode.
+	case "", "sim":
+		// A canonical job nested under "job" (the status echo shape)
+		// wins over an inline body, so echoed statuses re-decode.
 		var raw json.RawMessage
 		switch {
 		case probe.Job != nil:
 			raw = probe.Job
-		case probe.Input != nil && (probe.Kind == "" || probe.Kind == "sim"):
+		case probe.Input != nil:
 			raw = b
-		case probe.Kind == "run" || probe.Kind == "replay" || probe.Kind == "compare":
-			job, err := legacyJob(probe.Kind, probe.legacySpec)
-			if err != nil {
-				return err
-			}
-			*s = JobSpec{Kind: probe.Kind, Job: job}
-			return nil
 		default:
-			return fmt.Errorf("job spec carries neither an input nor a kind (canonical rnuca.Job JSON, or kind run/replay/compare/convert/figure)")
+			return fmt.Errorf("job spec carries neither an input nor a kind (canonical rnuca.Job JSON, or kind sim/convert/figure)")
 		}
 		var job rnuca.Job
 		if err := json.Unmarshal(raw, &job); err != nil {
 			return err
 		}
-		*s = JobSpec{Kind: kind, Job: &job}
+		*s = JobSpec{Kind: "sim", Job: &job}
 		return nil
 	}
-	return fmt.Errorf("unknown job kind %q (sim, convert, figure; legacy run, replay, compare)", probe.Kind)
-}
-
-// legacyJob translates a pre-v2 run/replay/compare spec onto an
-// rnuca.Job. Corpus references stay unbound (the server binds its
-// store at submit); a replay without an explicit design gets its
-// default — the corpus's recording design — at bind time too.
-func legacyJob(kind string, l legacySpec) (*rnuca.Job, error) {
-	// The pre-v2 validator rejected any negative option with a 400;
-	// most of them flow into rnuca.Job.Validate, but shards and
-	// trace_refs have no RunOptions field, so check them here.
-	for _, f := range []struct {
-		name string
-		v    int
-	}{{"shards", l.Options.Shards}, {"trace_refs", l.Options.TraceRefs}} {
-		if f.v < 0 {
-			return nil, fmt.Errorf("options.%s must not be negative (got %d)", f.name, f.v)
-		}
-	}
-	var in rnuca.Input
-	var ids []rnuca.DesignID
-	switch kind {
-	case "run":
-		if l.Workload == "" {
-			return nil, fmt.Errorf("run job needs a workload")
-		}
-		w, ok := workload.ByName(l.Workload)
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", l.Workload)
-		}
-		in = rnuca.FromWorkload(w)
-		// Like the pre-v2 server, run/replay read "design" (run
-		// defaulting to R) and ignore "designs".
-		if l.Design == "" {
-			l.Design = "R"
-		}
-		ids = []rnuca.DesignID{rnuca.DesignID(l.Design)}
-	case "replay":
-		if l.Corpus == "" {
-			return nil, fmt.Errorf("replay job needs a corpus")
-		}
-		in = rnuca.FromCorpusRef(l.Corpus)
-		if l.Design != "" {
-			ids = []rnuca.DesignID{rnuca.DesignID(l.Design)}
-		} // else: the corpus's recording design, resolved at bind
-	case "compare":
-		switch {
-		case l.Corpus != "":
-			in = rnuca.FromCorpusRef(l.Corpus)
-		case l.Workload != "":
-			w, ok := workload.ByName(l.Workload)
-			if !ok {
-				return nil, fmt.Errorf("unknown workload %q", l.Workload)
-			}
-			in = rnuca.FromWorkload(w)
-		default:
-			return nil, fmt.Errorf("compare job needs a corpus or a workload")
-		}
-		// Compare reads "designs" (default: all five) and, like the
-		// pre-v2 server, ignores "design".
-		if len(l.Designs) == 0 {
-			ids = rnuca.AllDesigns()
-		}
-		for _, d := range l.Designs {
-			ids = append(ids, rnuca.DesignID(d))
-		}
-	}
-	if in.Replays() {
-		// Window and sharding are replay knobs; the legacy run kind
-		// carried (and ignored) them, so keep ignoring there.
-		if l.Options.WindowStart > 0 || l.Options.WindowRefs > 0 {
-			in = in.Window(l.Options.WindowStart, l.Options.WindowRefs)
-		}
-		if l.Options.Shards > 0 {
-			in = in.Sharded(l.Options.Shards)
-		}
-	}
-	return &rnuca.Job{Input: in, Designs: ids, Options: l.Options.runOptions()}, nil
+	return fmt.Errorf("unknown job kind %q (sim, convert, figure)", probe.Kind)
 }
 
 // MarshalJSON echoes the spec with the simulation job in canonical
-// form under "job". Legacy submissions keep their kind label; their
-// translated (and store-bound) job is echoed so callers see exactly
-// what ran and what the result was keyed by.
+// form under "job"; the store-bound job is echoed so callers see
+// exactly what ran and what the result was keyed by.
 func (s JobSpec) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Kind    string       `json:"kind,omitempty"`
@@ -350,6 +202,16 @@ type JobResult struct {
 	Cache map[string]string `json:"cache,omitempty"`
 }
 
+// JobTrace is the GET /v1/jobs/{id}/trace payload: the job's buffered
+// spans in completion order, their per-stage aggregation, and how many
+// early spans the bounded ring discarded.
+type JobTrace struct {
+	Job     string            `json:"job"`
+	Spans   []obs.SpanData    `json:"spans"`
+	Stages  []obs.StageTiming `json:"stages"`
+	Dropped uint64            `json:"dropped,omitempty"`
+}
+
 // JobStatus is the API view of a job.
 type JobStatus struct {
 	ID       string     `json:"id"`
@@ -384,6 +246,13 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// trace collects the job's per-stage spans; j.ctx carries it so
+	// library code (rnuca.Job, the campaign) records into it without
+	// knowing about the server. queued is the job.queue span, opened at
+	// submit and ended when a worker dequeues the job.
+	trace  *obs.Trace
+	queued *obs.Span
 
 	gauge rnuca.ProgressGauge
 
@@ -465,7 +334,7 @@ func (j *job) observe() func(done, total int) {
 
 // simSpec reports whether a kind executes as a simulation job.
 func simSpec(kind string) bool {
-	return kind == "sim" || kind == "run" || kind == "replay" || kind == "compare"
+	return kind == "sim"
 }
 
 // validate resolves and checks a spec against the server's catalog and
@@ -564,7 +433,7 @@ func (s *Server) validate(j *job) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown job kind %q (sim, convert, figure; legacy run, replay, compare)", spec.Kind)
+		return fmt.Errorf("unknown job kind %q (sim, convert, figure)", spec.Kind)
 	}
 	return nil
 }

@@ -48,8 +48,12 @@ func recordedTrace(t *testing.T) string {
 			return
 		}
 		tracePath = filepath.Join(dir, "oltp.rnt")
-		_, traceErr = rnuca.Record(rnuca.OLTPDB2(), rnuca.DesignRNUCA,
-			rnuca.Options{Warm: recWarm, Measure: recMeasure}, tracePath)
+		rec := rnuca.Job{
+			Input:   rnuca.FromWorkload(rnuca.OLTPDB2()),
+			Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+			Options: rnuca.RunOptions{Warm: recWarm, Measure: recMeasure},
+		}
+		_, traceErr = rec.Record(context.Background(), tracePath)
 	})
 	if traceErr != nil {
 		t.Fatalf("recording shared trace: %v", traceErr)
@@ -161,13 +165,13 @@ func metric(t *testing.T, base, name string) float64 {
 	return 0
 }
 
-// A legacy-shaped replay job submitted over the API returns a Result
-// identical to a direct rnuca.Replay call — bit for bit, through the
-// JSON round trip — proving the one-release compat path still runs.
+// A replay job submitted over the API returns a Result identical to a
+// direct Job.Run over the same trace — bit for bit, through the JSON
+// round trip.
 func TestReplayJobMatchesDirectCall(t *testing.T) {
 	_, hs, ent, store := newTestServerStore(t, 2)
 
-	st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"R"}`)
+	st := postJob(t, hs.URL, `{"input":{"corpus":"oltp"},"designs":["R"]}`)
 	fin := waitJob(t, hs.URL, st.ID)
 	if fin.State != JobDone {
 		t.Fatalf("job %s: %s (%s)", st.ID, fin.State, fin.Error)
@@ -176,7 +180,11 @@ func TestReplayJobMatchesDirectCall(t *testing.T) {
 		t.Fatal("done job carries no result")
 	}
 
-	want, err := rnuca.Replay(store.Path(ent.Digest), rnuca.DesignRNUCA, rnuca.Options{})
+	direct := rnuca.Job{
+		Input:   rnuca.FromTrace(store.Path(ent.Digest)),
+		Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+	}
+	want, err := direct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,9 +203,9 @@ func TestReplayJobMatchesDirectCall(t *testing.T) {
 		t.Fatalf("first replay outcome %q, want miss", fin.Result.Cache["R"])
 	}
 
-	// A second identical job — submitted in the canonical v2 shape
-	// this time — is a pure cache hit with the same payload: the
-	// legacy translation and the canonical encoding key identically.
+	// A second identical job — referencing the corpus by digest
+	// instead of by name — is a pure cache hit with the same payload:
+	// once bound to the store, both references key identically.
 	st2 := postJob(t, hs.URL, rnuca.Job{
 		Input:   rnuca.FromCorpusRef(ent.Digest),
 		Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
@@ -223,7 +231,7 @@ func TestConcurrentIdenticalJobsSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"S"}`)
+			st := postJob(t, hs.URL, `{"input":{"corpus":"oltp"},"designs":["S"]}`)
 			ids[i] = st.ID
 		}(i)
 	}
@@ -255,8 +263,7 @@ func TestConcurrentIdenticalJobsSingleflight(t *testing.T) {
 // observable via /metrics.
 func TestFigureSecondBuildFullyCached(t *testing.T) {
 	_, hs, _ := newTestServer(t, 2)
-	// Legacy figure wire shape: scale fields inside flat "options".
-	spec := `{"kind":"figure","corpora":["oltp"],"options":{"warm":1000,"measure":2000,"trace_refs":12000}}`
+	spec := `{"kind":"figure","figure":{"corpora":["oltp"],"scale":{"warm":1000,"measure":2000,"trace_refs":12000}}}`
 
 	fin := waitJob(t, hs.URL, postJob(t, hs.URL, spec).ID)
 	if fin.State != JobDone {
@@ -295,7 +302,7 @@ func TestFigureSecondBuildFullyCached(t *testing.T) {
 // carrying the result.
 func TestJobSSE(t *testing.T) {
 	_, hs, _ := newTestServer(t, 2)
-	st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"P"}`)
+	st := postJob(t, hs.URL, `{"input":{"corpus":"oltp"},"designs":["P"]}`)
 
 	resp, err := http.Get(hs.URL + "/v1/jobs/" + st.ID + "/events")
 	if err != nil {
@@ -543,7 +550,7 @@ func TestCorpusEndpoints(t *testing.T) {
 // completes.
 func TestDrainRejectsNewJobs(t *testing.T) {
 	s, hs, _ := newTestServer(t, 1)
-	st := postJob(t, hs.URL, `{"kind":"replay","corpus":"oltp","design":"I"}`)
+	st := postJob(t, hs.URL, `{"input":{"corpus":"oltp"},"designs":["I"]}`)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -553,7 +560,7 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 	// Submissions during the drain are refused with 503.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		b := []byte(`{"kind":"replay","corpus":"oltp"}`)
+		b := []byte(`{"input":{"corpus":"oltp"}}`)
 		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
 		if err != nil {
 			t.Fatal(err)
@@ -641,7 +648,7 @@ func TestJobHistoryPruning(t *testing.T) {
 		// Distinct windows keep the jobs from collapsing into one
 		// cache entry, so each runs (and finishes) on its own.
 		st := postJob(t, hs.URL, fmt.Sprintf(
-			`{"kind":"replay","corpus":"oltp","design":"S","options":{"window_start":%d,"window_refs":3000}}`, i))
+			`{"input":{"corpus":{"ref":"oltp","window_start":%d,"window_refs":3000}},"designs":["S"]}`, i))
 		ids = append(ids, st.ID)
 		waitJob(t, hs.URL, st.ID)
 	}
@@ -661,56 +668,26 @@ func TestJobHistoryPruning(t *testing.T) {
 	}
 }
 
-// Legacy field precedence is preserved: run/replay read "design" and
-// ignore "designs" (single Result), compare reads "designs" and
-// ignores "design".
-func TestLegacyDesignFieldPrecedence(t *testing.T) {
-	_, hs, _ := newTestServer(t, 1)
-	fin := waitJob(t, hs.URL, postJob(t, hs.URL,
-		`{"kind":"replay","corpus":"oltp","design":"S","designs":["P","I"],"options":{"warm":2000,"measure":4000}}`).ID)
-	if fin.State != JobDone {
-		t.Fatalf("replay: %s (%s)", fin.State, fin.Error)
-	}
-	if fin.Result.Result == nil || fin.Result.Results != nil {
-		t.Fatalf("legacy replay with a stray designs list lost its single-Result shape: %+v", fin.Result)
-	}
-	if fin.Result.Result.Design != "S" {
-		t.Fatalf("legacy replay ran design %q, want S", fin.Result.Result.Design)
-	}
-
-	fin = waitJob(t, hs.URL, postJob(t, hs.URL,
-		`{"kind":"compare","corpus":"oltp","design":"S","designs":["P","I"],"options":{"warm":2000,"measure":4000}}`).ID)
-	if fin.State != JobDone {
-		t.Fatalf("compare: %s (%s)", fin.State, fin.Error)
-	}
-	if len(fin.Result.Results) != 2 {
-		t.Fatalf("legacy compare ran %d designs (%v), want the 2 from designs", len(fin.Result.Results), fin.Result.Cache)
-	}
-}
-
-// Bad specs — legacy and canonical — are rejected at submission with
-// 400 and counted as rejections.
+// Bad specs are rejected at submission with 400 and counted as
+// rejections.
 func TestSubmitValidation(t *testing.T) {
 	_, hs, _ := newTestServer(t, 1)
 	specs := []string{
-		// Legacy shapes.
+		`{}`,
 		`{"kind":"teleport"}`,
-		`{"kind":"run","workload":"No-Such-WL"}`,
-		`{"kind":"run","workload":"OLTP-DB2","design":"X"}`,
-		`{"kind":"replay","corpus":"no-such-corpus"}`,
 		`{"kind":"figure"}`,
 		`{"kind":"convert"}`,
 		// Negative options would panic deep in the simulator; they
 		// must be a 400, not a dead worker.
-		`{"kind":"run","workload":"OLTP-DB2","options":{"instr_cluster_size":-1}}`,
-		`{"kind":"replay","corpus":"oltp","options":{"batches":-2}}`,
-		`{"kind":"replay","corpus":"oltp","options":{"shards":-2}}`,
-		`{"kind":"figure","corpora":["oltp"],"options":{"trace_refs":-5}}`,
-		// Canonical shapes.
+		`{"input":{"workload":"OLTP-DB2"},"designs":["R"],"options":{"instr_cluster_size":-1}}`,
+		`{"input":{"corpus":"oltp"},"designs":["R"],"options":{"batches":-2}}`,
+		`{"input":{"workload":"OLTP-DB2"},"designs":["R"],"options":{"warm":-1}}`,
+		`{"kind":"figure","figure":{"corpora":["oltp"],"scale":{"trace_refs":-5}}}`,
+		`{"kind":"figure","figure":{"corpora":["oltp"],"shards":-1}}`,
+		// Bad references, designs, and encodings.
 		`{"input":{"workload":"No-Such-WL"},"designs":["R"]}`,
 		`{"input":{"workload":"OLTP-DB2"},"designs":["X"]}`,
 		`{"input":{"corpus":{"ref":"no-such-corpus"}},"designs":["R"]}`,
-		`{"input":{"workload":"OLTP-DB2"},"designs":["R"],"options":{"warm":-1}}`,
 		`{"v":99,"input":{"workload":"OLTP-DB2"},"designs":["R"]}`,
 		`{"input":{"workload":"OLTP-DB2","corpus":"oltp"}}`,
 	}
@@ -735,4 +712,146 @@ func TestMain(m *testing.M) {
 		os.RemoveAll(filepath.Dir(tracePath))
 	}
 	os.Exit(code)
+}
+
+// scrapeMetrics fetches the whole /metrics body once.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// One replay plus one figure build light up the whole metrics surface:
+// per-kind duration histograms, queue-wait observations, cache
+// counters, corpus gauges, and the engine's refs counter — and a
+// single scrape is internally consistent with the server's own ledger
+// (every series comes from one locked snapshot, so the totals add up).
+func TestMetricsEndToEnd(t *testing.T) {
+	s, hs, _ := newTestServer(t, 2)
+
+	fin := waitJob(t, hs.URL, postJob(t, hs.URL, `{"input":{"corpus":"oltp"},"designs":["R"]}`).ID)
+	if fin.State != JobDone {
+		t.Fatalf("replay: %s (%s)", fin.State, fin.Error)
+	}
+	fig := waitJob(t, hs.URL, postJob(t, hs.URL,
+		`{"kind":"figure","figure":{"corpora":["oltp"],"scale":{"warm":1000,"measure":2000,"trace_refs":12000}}}`).ID)
+	if fig.State != JobDone {
+		t.Fatalf("figure: %s (%s)", fig.State, fig.Error)
+	}
+
+	body := scrapeMetrics(t, hs.URL)
+	for _, line := range []string{
+		`rnuca_job_duration_seconds_count{kind="sim",outcome="done"} 1`,
+		`rnuca_job_duration_seconds_count{kind="figure",outcome="done"} 1`,
+		`rnuca_job_queue_wait_seconds_count{kind="sim"} 1`,
+		`rnuca_job_queue_wait_seconds_count{kind="figure"} 1`,
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("scrape lacks %q", line)
+		}
+	}
+	if v := metric(t, hs.URL, "rnuca_result_cache_misses_total"); v == 0 {
+		t.Error("no cache misses recorded after two simulating jobs")
+	}
+	if v := metric(t, hs.URL, "rnuca_engine_refs_simulated_total"); v == 0 {
+		t.Error("engine refs counter never moved")
+	}
+	if v := metric(t, hs.URL, "rnuca_corpus_objects"); v != 1 {
+		t.Errorf("corpus objects %v, want 1", v)
+	}
+	if v := metric(t, hs.URL, "rnuca_workers"); v != 2 {
+		t.Errorf("workers %v, want 2", v)
+	}
+
+	// Consistency: the server is quiescent (both jobs terminal), so one
+	// scrape must agree with the ledger exactly — no transient where
+	// submitted != completed + queued + running.
+	submitted, completed, failed, canceled, rejected, queued, running := s.Metrics()
+	if queued != 0 || running != 0 || failed != 0 || canceled != 0 || rejected != 0 {
+		t.Fatalf("ledger not quiescent: %d/%d/%d/%d/%d", failed, canceled, rejected, queued, running)
+	}
+	if submitted != 2 || completed != 2 {
+		t.Fatalf("ledger submitted/completed = %d/%d, want 2/2", submitted, completed)
+	}
+	for name, want := range map[string]float64{
+		"rnuca_jobs_submitted_total": float64(submitted),
+		"rnuca_jobs_completed_total": float64(completed),
+		"rnuca_jobs_queued":          0,
+		"rnuca_jobs_running":         0,
+	} {
+		if v := metric(t, hs.URL, name); v != want {
+			t.Errorf("%s = %v, ledger says %v", name, v, want)
+		}
+	}
+}
+
+// The trace endpoint returns a job's stage spans: a replay covers at
+// least four distinct stages, and the queue + run spans account for
+// the job's whole lifetime.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, hs, _ := newTestServer(t, 1)
+	st := postJob(t, hs.URL, `{"input":{"corpus":"oltp"},"designs":["S"]}`)
+	fin := waitJob(t, hs.URL, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job: %s (%s)", fin.State, fin.Error)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %s", resp.Status)
+	}
+	var tr JobTrace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Job != st.ID || tr.Dropped != 0 {
+		t.Fatalf("trace header %+v", tr)
+	}
+	stages := map[string]float64{}
+	for _, sp := range tr.Stages {
+		stages[sp.Stage] = sp.Seconds
+	}
+	if len(stages) < 4 {
+		t.Fatalf("trace covers %d stages (%v), want at least 4", len(stages), tr.Stages)
+	}
+	for _, name := range []string{"job.queue", "job.run", "cache.lookup", "sim.cell"} {
+		if _, ok := stages[name]; !ok {
+			t.Errorf("stage %s missing from trace (%v)", name, tr.Stages)
+		}
+	}
+
+	// job.queue and job.run partition the job's lifetime: together they
+	// must account for the created -> finished wall clock (10% slack,
+	// floored for very fast runs where scheduler noise dominates).
+	dur := fin.Finished.Sub(fin.Created).Seconds()
+	covered := stages["job.queue"] + stages["job.run"]
+	slack := 0.1 * dur
+	if min := 0.010; slack < min {
+		slack = min
+	}
+	if covered < dur-slack || covered > dur+slack {
+		t.Fatalf("spans cover %.4fs of a %.4fs job", covered, dur)
+	}
+
+	// An unknown job 404s.
+	resp2, err := http.Get(hs.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace: %s", resp2.Status)
+	}
 }

@@ -9,13 +9,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"rnuca"
 	"rnuca/internal/corpus"
 	"rnuca/internal/experiments"
 	"rnuca/internal/ingest"
+	"rnuca/internal/obs"
 	"rnuca/internal/report"
 	"rnuca/internal/resultcache"
 )
@@ -73,8 +73,100 @@ type Server struct {
 
 	wg sync.WaitGroup
 
-	mSubmitted, mCompleted, mFailed, mCanceled, mRejected atomic.Uint64
-	mQueued, mRunning                                     atomic.Int64
+	// stats is the job-lifecycle accounting every /metrics scrape
+	// snapshots. One mutex guards all seven numbers so a single scrape
+	// sees a mutually consistent view (queued+running+terminal adds up);
+	// the registry's OnCollect hook copies them onto the exported
+	// metrics under the render lock.
+	stats jobStats
+
+	reg          *obs.Registry
+	mJobDuration *obs.HistogramVec // rnuca_job_duration_seconds{kind,outcome}
+	mQueueWait   *obs.HistogramVec // rnuca_job_queue_wait_seconds{kind}
+	mRefs        *obs.Counter      // rnuca_engine_refs_simulated_total
+}
+
+// jobStats is the mutex-guarded lifecycle ledger. Transitions update
+// every affected number under one lock, so no scrape can observe a job
+// that has left "queued" but not yet arrived anywhere else.
+type jobStats struct {
+	mu                                               sync.Mutex
+	submitted, completed, failed, canceled, rejected uint64
+	queued, running                                  int64
+}
+
+// Metrics returns a consistent snapshot of the job-lifecycle counters
+// (tests and the collect hook read it; the mutex makes the seven
+// numbers one atomic unit).
+func (s *Server) Metrics() (submitted, completed, failed, canceled, rejected uint64, queued, running int64) {
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	st := &s.stats
+	return st.submitted, st.completed, st.failed, st.canceled, st.rejected, st.queued, st.running
+}
+
+// Registry exposes the server's metrics registry (CLIs mount extra
+// instrumentation on it; tests render it directly).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// initMetrics builds the server's registry: lifecycle counters and
+// gauges fed from jobStats via one OnCollect hook, latency histograms,
+// result-cache instrumentation, and corpus-store occupancy.
+func (s *Server) initMetrics() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+
+	submitted := reg.Counter("rnuca_jobs_submitted_total", "Jobs accepted into the queue.")
+	completed := reg.Counter("rnuca_jobs_completed_total", "Jobs finished successfully.")
+	failed := reg.Counter("rnuca_jobs_failed_total", "Jobs finished with an error.")
+	canceled := reg.Counter("rnuca_jobs_canceled_total", "Jobs canceled before completion.")
+	rejected := reg.Counter("rnuca_jobs_rejected_total", "Submissions refused at the door.")
+	queued := reg.Gauge("rnuca_jobs_queued", "Jobs waiting for a worker.")
+	running := reg.Gauge("rnuca_jobs_running", "Jobs currently executing.")
+	workers := reg.Gauge("rnuca_workers", "Size of the worker pool.")
+	workers.Set(int64(s.cfg.Workers))
+	reg.OnCollect(func() {
+		s.stats.mu.Lock()
+		defer s.stats.mu.Unlock()
+		submitted.Set(s.stats.submitted)
+		completed.Set(s.stats.completed)
+		failed.Set(s.stats.failed)
+		canceled.Set(s.stats.canceled)
+		rejected.Set(s.stats.rejected)
+		queued.Set(s.stats.queued)
+		running.Set(s.stats.running)
+	})
+
+	s.mJobDuration = reg.HistogramVec("rnuca_job_duration_seconds",
+		"Job execution time from start to terminal state.",
+		obs.DefSecondsBuckets(), "kind", "outcome")
+	s.mQueueWait = reg.HistogramVec("rnuca_job_queue_wait_seconds",
+		"Time jobs spent queued before a worker picked them up.",
+		obs.DefSecondsBuckets(), "kind")
+	s.mRefs = reg.Counter("rnuca_engine_refs_simulated_total",
+		"Cache references simulated by locally executed cells (cache hits add nothing).")
+
+	s.cache.Instrument(reg)
+
+	if store := s.cfg.Store; store != nil {
+		objects := reg.Gauge("rnuca_corpus_objects", "Objects in the corpus store.")
+		bytes := reg.Gauge("rnuca_corpus_bytes", "Bytes held by the corpus store.")
+		reg.OnCollect(func() {
+			// On a stat error the gauges keep their last good values; a
+			// transient filesystem hiccup should not zero the series.
+			if o, b, err := store.Stats(); err == nil {
+				objects.Set(int64(o))
+				bytes.Set(b)
+			}
+		})
+	}
+}
+
+// reject counts a refused submission.
+func (s *Server) reject() {
+	s.stats.mu.Lock()
+	s.stats.rejected++
+	s.stats.mu.Unlock()
 }
 
 // New builds a server and starts its worker pool.
@@ -97,6 +189,7 @@ func New(cfg Config) *Server {
 		jobs:    map[string]*job{},
 		queue:   make(chan *job, cfg.QueueDepth),
 	}
+	s.initMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -113,16 +206,21 @@ func (s *Server) Cache() *resultcache.Cache { return s.cache }
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	j := &job{id: newJobID(), spec: spec, created: time.Now(), state: JobQueued}
 	if err := s.validate(j); err != nil {
-		s.mRejected.Add(1)
+		s.reject()
 		return JobStatus{}, err
 	}
+	j.trace = obs.NewTrace(0)
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	j.ctx = obs.ContextWithTrace(j.ctx, j.trace)
+	// The queue span must exist before the job is visible to a worker:
+	// runJob ends it on dequeue.
+	j.queued = j.trace.StartSpan("job.queue")
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		j.cancel() // detach the rejected job's context from baseCtx
-		s.mRejected.Add(1)
+		s.reject()
 		return JobStatus{}, ErrDraining
 	}
 	select {
@@ -130,15 +228,17 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	default:
 		s.mu.Unlock()
 		j.cancel()
-		s.mRejected.Add(1)
+		s.reject()
 		return JobStatus{}, ErrBusy
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 
-	s.mSubmitted.Add(1)
-	s.mQueued.Add(1)
+	s.stats.mu.Lock()
+	s.stats.submitted++
+	s.stats.queued++
+	s.stats.mu.Unlock()
 	return j.status(), nil
 }
 
@@ -240,29 +340,63 @@ func (s *Server) worker() {
 // must not accumulate one live child context per finished job).
 func (s *Server) runJob(j *job) {
 	defer j.cancel()
-	s.mQueued.Add(-1)
+	j.queued.End()
+	s.mQueueWait.With(j.spec.Kind).Observe(time.Since(j.created).Seconds())
 	if j.ctx.Err() != nil {
-		s.mCanceled.Add(1)
-		j.finish(JobCanceled, nil, context.Cause(j.ctx))
+		s.finishJob(j, JobCanceled, nil, context.Cause(j.ctx), true)
 		return
 	}
 	j.setRunning()
-	s.mRunning.Add(1)
-	defer s.mRunning.Add(-1)
+	s.stats.mu.Lock()
+	s.stats.queued--
+	s.stats.running++
+	s.stats.mu.Unlock()
 
+	sp := j.trace.StartSpan("job.run")
 	res, err := s.execute(j)
+	sp.End()
 	switch {
 	case err == nil:
-		s.mCompleted.Add(1)
-		j.finish(JobDone, res, nil)
+		s.finishJob(j, JobDone, res, nil, false)
 	case j.ctx.Err() != nil || errors.Is(err, context.Canceled):
-		s.mCanceled.Add(1)
-		j.finish(JobCanceled, nil, err)
+		s.finishJob(j, JobCanceled, nil, err, false)
 	default:
-		s.mFailed.Add(1)
-		j.finish(JobFailed, nil, err)
+		s.finishJob(j, JobFailed, nil, err, false)
 	}
 	s.pruneJobs()
+}
+
+// finishJob records a terminal state: the job's own record, the
+// lifecycle ledger (one locked transition, so queued/running and the
+// terminal counters never disagree within a scrape), and the duration
+// histogram. fromQueue marks a job canceled before it ever ran.
+func (s *Server) finishJob(j *job, state JobState, res *JobResult, err error, fromQueue bool) {
+	j.finish(state, res, err)
+	s.stats.mu.Lock()
+	if fromQueue {
+		s.stats.queued--
+	} else {
+		s.stats.running--
+	}
+	switch state {
+	case JobDone:
+		s.stats.completed++
+	case JobFailed:
+		s.stats.failed++
+	case JobCanceled:
+		s.stats.canceled++
+	}
+	s.stats.mu.Unlock()
+
+	st := j.status()
+	start := st.Created
+	if st.Started != nil {
+		start = *st.Started
+	}
+	if st.Finished != nil {
+		s.mJobDuration.With(j.spec.Kind, string(state)).
+			Observe(st.Finished.Sub(start).Seconds())
+	}
 }
 
 // pruneJobs drops the oldest terminal jobs (and their retained result
@@ -327,9 +461,16 @@ func (s *Server) cell(j *job, cell rnuca.Job) (rnuca.Result, resultcache.Outcome
 	key, ok := resultcache.JobKey(cell)
 	if !ok {
 		r, err := run(j.ctx)
+		if err == nil {
+			s.mRefs.Add(r.Refs)
+		}
 		return r, resultcache.Miss, err
 	}
 	v, outcome, err := s.cache.Do(j.ctx, key, func(fctx context.Context) (any, error) {
+		// The flight's context is detached from the submitting job's, so
+		// the job's trace must be re-attached for the library's spans
+		// (sim.cell, replay.setup, result.fold) to land in it.
+		fctx = obs.ContextWithTrace(fctx, j.trace)
 		r, err := run(fctx)
 		if err != nil {
 			return nil, err
@@ -339,6 +480,7 @@ func (s *Server) cell(j *job, cell rnuca.Job) (rnuca.Result, resultcache.Outcome
 		if fctx.Err() != nil {
 			return nil, fctx.Err()
 		}
+		s.mRefs.Add(r.Refs)
 		return r, nil
 	})
 	if err != nil {
@@ -348,11 +490,11 @@ func (s *Server) cell(j *job, cell rnuca.Job) (rnuca.Result, resultcache.Outcome
 }
 
 // executeSim runs a simulation job, one cached cell per design.
-// Single-design run/replay jobs report a single Result; everything
-// else reports a design-keyed map.
+// Single-design jobs report a single Result; everything else reports a
+// design-keyed map.
 func (s *Server) executeSim(j *job) (*JobResult, error) {
 	job := *j.spec.Job
-	single := len(job.Designs) == 1 && j.spec.Kind != "compare"
+	single := len(job.Designs) == 1
 	out := &JobResult{Cache: map[string]string{}}
 	if !single {
 		out.Results = map[string]rnuca.Result{}
@@ -364,7 +506,11 @@ func (s *Server) executeSim(j *job) (*JobResult, error) {
 		// Each design is a fresh cell: restart the progress gauge so
 		// a later cell does not appear frozen at the previous one's max.
 		j.gauge.Reset()
+		sp := j.trace.StartSpan("cache.lookup")
+		sp.SetAttr("design", string(id))
 		r, outcome, err := s.cell(j, job.WithDesign(id))
+		sp.SetAttr("outcome", outcome.String())
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -380,6 +526,8 @@ func (s *Server) executeSim(j *job) (*JobResult, error) {
 }
 
 func (s *Server) executeConvert(j *job) (*JobResult, error) {
+	sp := j.trace.StartSpan("convert.ingest")
+	defer sp.End()
 	opt, err := j.spec.Convert.ingestOptions()
 	if err != nil {
 		return nil, err
@@ -468,7 +616,13 @@ func (s *Server) executeFigure(j *job) (*JobResult, error) {
 	}
 	key := "figure|" + string(keyJSON)
 
+	sp := j.trace.StartSpan("figure.build")
+	defer sp.End()
 	v, outcome, err := s.cache.Do(j.ctx, key, func(fctx context.Context) (tables any, err error) {
+		// Re-attach the job's trace: the flight context is detached from
+		// j.ctx, and the campaign's spans (classify.pass, sim.cell)
+		// should land in the submitting job's trace.
+		fctx = obs.ContextWithTrace(fctx, j.trace)
 		// The campaign API reports simulation failures — cancellation
 		// included — by panicking (its callers are harnesses); a
 		// serving worker must turn that into a failed or canceled job,
@@ -499,6 +653,7 @@ func (s *Server) executeFigure(j *job) (*JobResult, error) {
 		}
 		return ts, nil
 	})
+	sp.SetAttr("outcome", outcome.String())
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"rnuca/internal/obs"
 	"rnuca/internal/sim"
 	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
@@ -16,8 +17,8 @@ import (
 // invalidates persisted result-cache keys built from older encodings.
 const jobEncodingVersion = 2
 
-// RunOptions tunes how a Job executes. Unlike the legacy Options it
-// carries only knobs that are legal for every input kind: source
+// RunOptions tunes how a Job executes. It carries only knobs that
+// are legal for every input kind: source
 // selection lives on Input, replay-only knobs (window, shards) live
 // on trace- and corpus-backed inputs, and cancellation is the
 // context passed to Run/Compare.
@@ -248,7 +249,7 @@ func (j Job) Record(ctx context.Context, path string) (Result, error) {
 		id = j.Designs[0]
 	}
 	w := j.Input.workload
-	opt := j.legacyOptions(ctx).withDefaults(w)
+	opt := j.Options.lower(ctx).withDefaults(w)
 	opt.Batches = 1
 	fw, err := tracefile.Create(path, tracefile.Header{
 		Workload:   w.Name,
@@ -271,6 +272,9 @@ func (j Job) Record(ctx context.Context, path string) (Result, error) {
 	res := runOne(w, opt, mk, streams)
 	out.Result = res
 	out.CPIMean = res.CPI()
+	if t := obs.TraceFrom(ctx); t != nil {
+		out.Timing = t.Stages()
+	}
 	if err := fw.Close(); err != nil {
 		return out, err
 	}
@@ -278,15 +282,23 @@ func (j Job) Record(ctx context.Context, path string) (Result, error) {
 }
 
 // runDesign executes one design cell of the job.
-func (j Job) runDesign(ctx context.Context, id DesignID) (Result, error) {
-	opt := j.legacyOptions(ctx)
+func (j Job) runDesign(ctx context.Context, id DesignID) (res Result, err error) {
+	defer func() {
+		if t := obs.TraceFrom(ctx); t != nil {
+			res.Timing = t.Stages()
+		}
+	}()
+	opt := j.Options.lower(ctx)
 	mk := j.Maker
 	switch j.Input.kind {
 	case InputTrace, InputCorpus:
 		in := j.Input
 		opt.Shards = in.shards
 		opt.WindowStart, opt.WindowRefs = in.windowStart, in.windowRefs
+		setup := obs.StartSpan(ctx, "replay.setup")
+		setup.SetAttr("path", in.path)
 		opt, w, err := replaySetup(in.path, opt)
+		setup.End()
 		if err != nil {
 			return Result{}, err
 		}
@@ -335,28 +347,30 @@ func (j Job) runDesign(ctx context.Context, id DesignID) (Result, error) {
 	return Result{}, fmt.Errorf("rnuca: job has no input")
 }
 
-// legacyOptions lowers the job onto the internal run machinery: the
-// run options become a legacy Options value whose Progress callback
-// both feeds the observation hook and polls the context — the single
-// plumbing point through which cancellation reaches every engine.
-func (j Job) legacyOptions(ctx context.Context) Options {
-	o := Options{
-		Warm:               j.Options.Warm,
-		Measure:            j.Options.Measure,
-		Batches:            j.Options.Batches,
-		InstrClusterSize:   j.Options.InstrClusterSize,
-		PrivateClusterSize: j.Options.PrivateClusterSize,
-		Config:             j.Options.Config,
+// lower drops the public options onto the internal run machinery: a
+// runOpts whose Progress callback both feeds the observation hook and
+// polls the context — the single plumbing point through which
+// cancellation reaches every engine — and whose ctx carries any span
+// trace into the helpers.
+func (ro RunOptions) lower(ctx context.Context) runOpts {
+	o := runOpts{
+		Warm:               ro.Warm,
+		Measure:            ro.Measure,
+		Batches:            ro.Batches,
+		InstrClusterSize:   ro.InstrClusterSize,
+		PrivateClusterSize: ro.PrivateClusterSize,
+		Config:             ro.Config,
+		ctx:                ctx,
 	}
-	obs := j.Options.Progress
-	if obs == nil && ctx.Done() == nil {
+	watch := ro.Progress
+	if watch == nil && ctx.Done() == nil {
 		// Nothing to observe and nothing to cancel: skip the hook so
 		// the engine's fast path stays untouched.
 		return o
 	}
 	o.Progress = func(done, total int) bool {
-		if obs != nil {
-			obs(done, total)
+		if watch != nil {
+			watch(done, total)
 		}
 		return ctx.Err() == nil
 	}

@@ -55,8 +55,11 @@
 // plumbing that feeds the RunOptions.Progress observation hook, and a
 // canceled run returns its partial Result with the context's error.
 //
-// The pre-v2 entry points (Run, Replay, Compare, Record, ...) survive
-// as thin deprecated wrappers over Job for one release.
+// Attach an observability trace (internal/obs) to the context and a
+// run records per-stage spans — replay setup, per-cell simulation,
+// result fold — and reports the aggregate breakdown in
+// Result.Timing; rnuca-serve exposes the same spans per job at
+// GET /v1/jobs/{id}/trace.
 //
 // Externally captured traces enter through internal/ingest:
 // rnuca-trace convert turns Dinero/ChampSim-style/CSV address streams
@@ -71,14 +74,13 @@ package rnuca
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"rnuca/internal/design"
+	"rnuca/internal/obs"
 	"rnuca/internal/sim"
 	"rnuca/internal/stats"
 	"rnuca/internal/trace"
@@ -124,15 +126,11 @@ var (
 	Extended   = workload.Extended
 )
 
-// Options tunes a legacy (pre-Job) simulation call. The zero value
-// gives sensible defaults.
-//
-// Deprecated: Options mixes knobs that only apply to some call shapes
-// (Source to generated runs, Shards/Window to replays, Progress's
-// boolean return to cooperative cancellation). New code states each
-// on the type it belongs to: Input knobs for the stream, RunOptions
-// for the run, a context.Context for cancellation.
-type Options struct {
+// runOpts is the internal run description every execution helper
+// consumes: the job's RunOptions lowered together with the knobs that
+// live elsewhere in the public API (the input's window/shards, the
+// context-polling progress callback, the span-collecting context).
+type runOpts struct {
 	// Warm is the number of chip-wide references run before measurement
 	// (cache/TLB/page-table warmup, like the paper's checkpoint warming).
 	// 0 means the default.
@@ -187,13 +185,18 @@ type Options struct {
 	// unset, Warm defaults to a fifth of the window and Measure to the
 	// remainder, instead of the recording run's split.
 	WindowStart, WindowRefs uint64
+
+	// ctx carries the run's cancellation and any obs.Trace collecting
+	// per-stage spans; helpers instrument against it unconditionally
+	// (spans no-op without a trace).
+	ctx context.Context
 }
 
 // windowed reports whether replay options restrict the trace to a
 // record window.
-func (o Options) windowed() bool { return o.WindowStart > 0 || o.WindowRefs > 0 }
+func (o runOpts) windowed() bool { return o.WindowStart > 0 || o.WindowRefs > 0 }
 
-func (o Options) withDefaults(w Workload) Options {
+func (o runOpts) withDefaults(w Workload) runOpts {
 	if o.Warm == 0 {
 		o.Warm = 200_000
 	}
@@ -252,6 +255,10 @@ func gridFor(n int) (int, int) {
 	return w, n / w
 }
 
+// StageTiming is one stage of a run's wall-clock breakdown
+// (re-exported from internal/obs).
+type StageTiming = obs.StageTiming
+
 // Result is one design's measured performance on one workload.
 type Result struct {
 	sim.Result
@@ -259,6 +266,12 @@ type Result struct {
 	// (CPIMean equals Result.CPI() for single batches).
 	CPIMean float64
 	CPICI   float64
+	// Timing is the per-stage wall-clock breakdown, populated only
+	// when the run's context carries an obs.Trace. It is diagnostic
+	// metadata, not measurement: it is excluded from the JSON encoding
+	// so observed and unobserved Results stay byte-identical on the
+	// wire and in result-cache comparisons.
+	Timing []StageTiming `json:"-"`
 }
 
 // NewDesign constructs a design instance on a chassis. ASR here is the
@@ -282,99 +295,10 @@ func NewDesign(id DesignID, ch *sim.Chassis) sim.Design {
 	}
 }
 
-// legacyJob assembles the Job a legacy Options-based call describes:
-// replay knobs move onto the input, the result-relevant fields onto
-// RunOptions. The Source and Progress fields are handled by the
-// individual wrappers (Source selects the input kind, Progress the
-// cancellation adapter).
-func legacyJob(in Input, o Options, ids ...DesignID) Job {
-	if in.Replays() {
-		if o.windowed() {
-			in = in.Window(o.WindowStart, o.WindowRefs)
-		}
-		if o.Shards > 0 {
-			in = in.Sharded(o.Shards)
-		}
-	}
-	return Job{Input: in, Designs: ids, Options: RunOptions{
-		Warm:               o.Warm,
-		Measure:            o.Measure,
-		Batches:            o.Batches,
-		InstrClusterSize:   o.InstrClusterSize,
-		PrivateClusterSize: o.PrivateClusterSize,
-		Config:             o.Config,
-	}}
-}
-
-// legacyCtx adapts the legacy Progress contract — return false to
-// stop the run, which is not an error — onto the context path. It
-// wires the boolean callback into the job's observation hook plus a
-// cancel, and the returned finish strips the cancellation error when
-// the callback (rather than a caller) stopped the run.
-func (o Options) legacyCtx(j *Job) (ctx context.Context, finish func(error) error) {
-	if o.Progress == nil {
-		return context.Background(), func(err error) error { return err }
-	}
-	c, cancel := context.WithCancel(context.Background())
-	var stopped atomic.Bool
-	cb := o.Progress
-	j.Options.Progress = func(done, total int) {
-		if !cb(done, total) {
-			stopped.Store(true)
-			cancel()
-		}
-	}
-	return c, func(err error) error {
-		cancel()
-		if err != nil && stopped.Load() && errors.Is(err, context.Canceled) {
-			return nil
-		}
-		return err
-	}
-}
-
-// legacySourceInput picks the input a legacy (w, opt) pair describes:
-// the workload's generator, or opt.Source with the workload's timing
-// parameters attached.
-func legacySourceInput(w Workload, o Options) Input {
-	if o.Source != nil {
-		return FromSource(o.Source).ForWorkload(w)
-	}
-	return FromWorkload(w)
-}
-
-// RunWith simulates one workload on a custom design built by mk.
-//
-// Deprecated: set Job.Maker and call Job.Run.
-func RunWith(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Result {
-	j := legacyJob(legacySourceInput(w, opt), opt)
-	j.Maker = mk
-	ctx, finish := opt.legacyCtx(&j)
-	r, err := j.Run(ctx)
-	if err = finish(err); err != nil {
-		panic("rnuca: " + err.Error())
-	}
-	return r
-}
-
-// Run simulates one workload on one design.
-//
-// Deprecated: build a Job with FromWorkload and call Job.Run, which
-// reports bad specs as errors and cancels via context.
-func Run(w Workload, id DesignID, opt Options) Result {
-	j := legacyJob(legacySourceInput(w, opt), opt, id)
-	ctx, finish := opt.legacyCtx(&j)
-	r, err := j.Run(ctx)
-	if err = finish(err); err != nil {
-		panic("rnuca: " + err.Error())
-	}
-	return r
-}
-
-// designMaker returns the design constructor Run would use for id, with
-// ASR fixed to the adaptive variant (the best-of-six sweep is handled by
-// runASRBest, which generator-driven runs still go through).
-func designMaker(id DesignID, opt Options) func(*sim.Chassis) sim.Design {
+// designMaker returns the design constructor Job.Run would use for id,
+// with ASR fixed to the adaptive variant (the best-of-six sweep is
+// handled by runASRBest, which generator-driven runs still go through).
+func designMaker(id DesignID, opt runOpts) func(*sim.Chassis) sim.Design {
 	if id == DesignRNUCA && opt.PrivateClusterSize > 1 {
 		size := opt.PrivateClusterSize
 		return func(ch *sim.Chassis) sim.Design {
@@ -385,9 +309,13 @@ func designMaker(id DesignID, opt Options) func(*sim.Chassis) sim.Design {
 }
 
 // runOne executes a single simulation over the given per-core streams.
-func runOne(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, streams []trace.Stream) sim.Result {
+func runOne(ws Workload, opt runOpts, mk func(*sim.Chassis) sim.Design, streams []trace.Stream) sim.Result {
+	sp := obs.StartSpan(opt.ctx, "sim.cell")
+	defer sp.End()
 	ch := sim.NewChassis(*opt.Config)
 	d := mk(ch)
+	sp.SetAttr("design", d.Name())
+	sp.SetAttr("workload", ws.Name)
 	eng := sim.NewEngine(ch, d, streams)
 	eng.OffChipMLP = ws.OffChipMLP
 	hookProgress(eng, opt)
@@ -397,9 +325,13 @@ func runOne(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, streams 
 }
 
 // runOneSource is runOne fed by a multiplexed RefSource.
-func runOneSource(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, src trace.RefSource) sim.Result {
+func runOneSource(ws Workload, opt runOpts, mk func(*sim.Chassis) sim.Design, src trace.RefSource) sim.Result {
+	sp := obs.StartSpan(opt.ctx, "sim.cell")
+	defer sp.End()
 	ch := sim.NewChassis(*opt.Config)
 	d := mk(ch)
+	sp.SetAttr("design", d.Name())
+	sp.SetAttr("workload", ws.Name)
 	eng := sim.NewEngineSource(ch, d, src)
 	eng.OffChipMLP = ws.OffChipMLP
 	hookProgress(eng, opt)
@@ -409,7 +341,7 @@ func runOneSource(ws Workload, opt Options, mk func(*sim.Chassis) sim.Design, sr
 }
 
 // hookProgress attaches the options' progress observer to an engine.
-func hookProgress(eng *sim.Engine, opt Options) {
+func hookProgress(eng *sim.Engine, opt runOpts) {
 	if opt.Progress == nil {
 		return
 	}
@@ -420,7 +352,7 @@ func hookProgress(eng *sim.Engine, opt Options) {
 
 // runBatches executes opt.Batches independently-seeded runs and folds
 // the results with equal batch weight.
-func runBatches(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Result {
+func runBatches(w Workload, opt runOpts, mk func(*sim.Chassis) sim.Design) Result {
 	results := make([]sim.Result, opt.Batches)
 	var cpi stats.Summary
 	for b := 0; b < opt.Batches; b++ {
@@ -434,70 +366,17 @@ func runBatches(w Workload, opt Options, mk func(*sim.Chassis) sim.Design) Resul
 		cpi.Add(results[b].CPI())
 	}
 	var out Result
-	out.Result = foldResults(results)
+	out.Result = fold(opt, results)
 	out.CPIMean = cpi.Mean()
 	out.CPICI = cpi.CI95()
 	return out
-}
-
-// Record runs one workload on one design, teeing every reference the
-// engine consumes to a trace file at path.
-//
-// Deprecated: use Job.Record.
-func Record(w Workload, id DesignID, opt Options, path string) (Result, error) {
-	if opt.Source != nil {
-		return Result{}, fmt.Errorf("rnuca: Record with Options.Source set; record from the generator")
-	}
-	j := legacyJob(FromWorkload(w), opt, id)
-	ctx, finish := opt.legacyCtx(&j)
-	r, err := j.Record(ctx, path)
-	return r, finish(err)
-}
-
-// Replay runs one design over a recorded trace. Warm/Measure default to
-// the recording run's split (stored in the trace header); the workload's
-// timing parameters come from the header, so traces replay without a
-// catalog entry. DesignASR follows the paper's best-of-six methodology,
-// with every variant replaying the same refs. Batches > 1 replays the
-// same trace on independent engines in parallel.
-//
-// Deprecated: build a Job with FromTrace (with .Window / .Sharded as
-// needed) and call Job.Run.
-func Replay(path string, id DesignID, opt Options) (Result, error) {
-	if opt.Source != nil {
-		return Result{}, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
-	}
-	j := legacyJob(FromTrace(path), opt, id)
-	ctx, finish := opt.legacyCtx(&j)
-	r, err := j.Run(ctx)
-	if err = finish(err); err != nil {
-		return Result{}, err
-	}
-	return r, nil
-}
-
-// ReplayWith replays a trace on a custom design built by mk.
-//
-// Deprecated: set Job.Maker on a FromTrace job and call Job.Run.
-func ReplayWith(path string, opt Options, mk func(*sim.Chassis) sim.Design) (Result, error) {
-	if opt.Source != nil {
-		return Result{}, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
-	}
-	j := legacyJob(FromTrace(path), opt)
-	j.Maker = mk
-	ctx, finish := opt.legacyCtx(&j)
-	r, err := j.Run(ctx)
-	if err = finish(err); err != nil {
-		return Result{}, err
-	}
-	return r, nil
 }
 
 // replaySetup validates the trace header and resolves replay options
 // against it: for sharded or windowed replays the trace must carry a v2
 // chunk index, and a record window rescopes the default Warm/Measure
 // split from the recording run's to the window itself.
-func replaySetup(path string, opt Options) (Options, Workload, error) {
+func replaySetup(path string, opt runOpts) (runOpts, Workload, error) {
 	if opt.Source != nil {
 		return opt, Workload{}, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
 	}
@@ -594,7 +473,7 @@ func replaySetup(path string, opt Options) (Options, Workload, error) {
 // streaming reader by default, an indexed window cursor or parallel
 // sharded decoder when the options ask for one. The returned close
 // function is safe to call after exhaustion.
-func openReplaySource(path string, opt Options) (src interface {
+func openReplaySource(path string, opt runOpts) (src interface {
 	trace.RefSource
 	Err() error
 }, closeSrc func(), err error) {
@@ -633,7 +512,7 @@ func openReplaySource(path string, opt Options) (src interface {
 // parallel and folds the results with equal batch weight. Each batch
 // opens its own view of the file — sequential, windowed, or sharded per
 // the options — so batches never contend on shared reader state.
-func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) sim.Design) (Result, error) {
+func replayBatches(path string, w Workload, opt runOpts, mk func(*sim.Chassis) sim.Design) (Result, error) {
 	results := make([]sim.Result, opt.Batches)
 	errs := make([]error, opt.Batches)
 	var wg sync.WaitGroup
@@ -679,7 +558,7 @@ func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) s
 		cpi.Add(res.CPI())
 	}
 	var out Result
-	out.Result = foldResults(results)
+	out.Result = fold(opt, results)
 	out.CPIMean = cpi.Mean()
 	out.CPICI = cpi.CI95()
 	return out, nil
@@ -687,7 +566,7 @@ func replayBatches(path string, w Workload, opt Options, mk func(*sim.Chassis) s
 
 // replayASRBest mirrors runASRBest over a trace: six ASR variants replay
 // the same refs, the best CPI is reported.
-func replayASRBest(path string, w Workload, opt Options) (Result, error) {
+func replayASRBest(path string, w Workload, opt runOpts) (Result, error) {
 	best := Result{}
 	bestCPI := 0.0
 	for i, mk := range asrVariants() {
@@ -741,30 +620,14 @@ func workloadFor(hdr tracefile.Header) Workload {
 	}
 }
 
-// ReplayCompare replays several designs over one trace concurrently,
-// the Figure 12 comparison without regeneration cost.
-//
-// Deprecated: build a multi-design Job with FromTrace and call
-// Job.Compare.
-func ReplayCompare(path string, ids []DesignID, opt Options) (map[DesignID]Result, error) {
-	if opt.Source != nil {
-		return nil, fmt.Errorf("rnuca: Replay with Options.Source set; the trace is the source")
-	}
-	j := legacyJob(FromTrace(path), opt, ids...)
-	ctx, finish := opt.legacyCtx(&j)
-	m, err := j.Compare(ctx)
-	if err = finish(err); err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
-// foldResults folds independently-seeded batch results with equal
-// weight: event counters sum, while the CPI stack and per-class cycle
+// fold folds independently-seeded batch results with equal weight:
+// event counters sum, while the CPI stack and per-class cycle
 // breakdowns — per-instruction rates — average over the batch count.
 // (The pre-v2 fold averaged pairwise, (a+b)/2 per step, which weighted
 // batch b of B by 2^-(B-b) for B > 2.)
-func foldResults(rs []sim.Result) sim.Result {
+func fold(opt runOpts, rs []sim.Result) sim.Result {
+	sp := obs.StartSpan(opt.ctx, "result.fold")
+	defer sp.End()
 	out := rs[0]
 	for _, b := range rs[1:] {
 		out.Instructions += b.Instructions
@@ -815,7 +678,7 @@ func asrVariants() []func(*sim.Chassis) sim.Design {
 
 // runASRBest implements the paper's ASR methodology (§5.1): six variants
 // (adaptive plus five static probabilities), report the best-performing.
-func runASRBest(w Workload, opt Options) Result {
+func runASRBest(w Workload, opt runOpts) Result {
 	best := Result{}
 	bestCPI := 0.0
 	for i, mk := range asrVariants() {
@@ -826,31 +689,6 @@ func runASRBest(w Workload, opt Options) Result {
 	}
 	best.Design = "A"
 	return best
-}
-
-// Compare runs several designs on one workload with identical streams.
-//
-// Deprecated: build a multi-design Job with FromWorkload and call
-// Job.Compare.
-func Compare(w Workload, ids []DesignID, opt Options) map[DesignID]Result {
-	if opt.Source != nil || opt.Progress != nil {
-		// Caller-supplied source factories and progress callbacks saw
-		// the legacy sequential call order (a single-batch Progress
-		// could legally be non-thread-safe); preserve it rather than
-		// fan designs out concurrently.
-		out := make(map[DesignID]Result, len(ids))
-		for _, id := range ids {
-			out[id] = Run(w, id, opt)
-		}
-		return out
-	}
-	j := legacyJob(FromWorkload(w), opt, ids...)
-	ctx, finish := opt.legacyCtx(&j)
-	m, err := j.Compare(ctx)
-	if err = finish(err); err != nil {
-		panic("rnuca: " + err.Error())
-	}
-	return m
 }
 
 // SpeedupCI is a matched-pair speedup estimate: both designs run on
@@ -868,8 +706,8 @@ type SpeedupCI struct {
 // CompareCI measures the speedup of design a over design b on matched
 // batches. Batches defaults to 5 when the option is unset or 1 (a single
 // pair has no interval).
-func CompareCI(w Workload, a, b DesignID, opt Options) SpeedupCI {
-	opt = opt.withDefaults(w)
+func CompareCI(w Workload, a, b DesignID, ro RunOptions) SpeedupCI {
+	opt := ro.lower(context.Background()).withDefaults(w)
 	if opt.Batches < 2 {
 		opt.Batches = 5
 	}

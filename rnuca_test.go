@@ -1,16 +1,39 @@
 package rnuca_test
 
 import (
+	"context"
 	"testing"
 
 	"rnuca"
 	"rnuca/internal/sim"
 )
 
-var quick = rnuca.Options{Warm: 20_000, Measure: 40_000}
+var quick = rnuca.RunOptions{Warm: 20_000, Measure: 40_000}
+
+// run executes one workload x design cell through the Job API.
+func run(t *testing.T, w rnuca.Workload, id rnuca.DesignID, opt rnuca.RunOptions) rnuca.Result {
+	t.Helper()
+	job := rnuca.Job{Input: rnuca.FromWorkload(w), Designs: []rnuca.DesignID{id}, Options: opt}
+	r, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run %s under %s: %v", w.Name, id, err)
+	}
+	return r
+}
+
+// compare sweeps designs over one workload through the Job API.
+func compare(t *testing.T, w rnuca.Workload, ids []rnuca.DesignID, opt rnuca.RunOptions) map[rnuca.DesignID]rnuca.Result {
+	t.Helper()
+	job := rnuca.Job{Input: rnuca.FromWorkload(w), Designs: ids, Options: opt}
+	m, err := job.Compare(context.Background())
+	if err != nil {
+		t.Fatalf("compare %s: %v", w.Name, err)
+	}
+	return m
+}
 
 func TestRunProducesSaneResult(t *testing.T) {
-	r := rnuca.Run(rnuca.OLTPDB2(), rnuca.DesignRNUCA, quick)
+	r := run(t, rnuca.OLTPDB2(), rnuca.DesignRNUCA, quick)
 	if r.CPI() <= 1 {
 		t.Fatalf("CPI %v must exceed the busy floor of 1", r.CPI())
 	}
@@ -29,8 +52,8 @@ func TestRunProducesSaneResult(t *testing.T) {
 }
 
 func TestRunDeterminism(t *testing.T) {
-	a := rnuca.Run(rnuca.Apache(), rnuca.DesignShared, quick)
-	b := rnuca.Run(rnuca.Apache(), rnuca.DesignShared, quick)
+	a := run(t, rnuca.Apache(), rnuca.DesignShared, quick)
+	b := run(t, rnuca.Apache(), rnuca.DesignShared, quick)
 	if a.CPI() != b.CPI() || a.OffChipMisses != b.OffChipMisses {
 		t.Fatalf("same run differed: %v vs %v", a.CPI(), b.CPI())
 	}
@@ -51,7 +74,7 @@ func TestConfigFor(t *testing.T) {
 }
 
 func TestCompareAndSpeedups(t *testing.T) {
-	cmp := rnuca.Compare(rnuca.MIX(), []rnuca.DesignID{
+	cmp := compare(t, rnuca.MIX(), []rnuca.DesignID{
 		rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA,
 	}, quick)
 	p, s, r := cmp[rnuca.DesignPrivate], cmp[rnuca.DesignShared], cmp[rnuca.DesignRNUCA]
@@ -71,9 +94,9 @@ func TestCompareAndSpeedups(t *testing.T) {
 func TestPrivateAverseOrdering(t *testing.T) {
 	// OLTP-DB2 is private-averse: shared beats private, and R-NUCA beats
 	// both (the paper's headline result).
-	cmp := rnuca.Compare(rnuca.OLTPDB2(), []rnuca.DesignID{
+	cmp := compare(t, rnuca.OLTPDB2(), []rnuca.DesignID{
 		rnuca.DesignPrivate, rnuca.DesignShared, rnuca.DesignRNUCA, rnuca.DesignIdeal,
-	}, rnuca.Options{Warm: 60_000, Measure: 120_000})
+	}, rnuca.RunOptions{Warm: 60_000, Measure: 120_000})
 	p, s := cmp[rnuca.DesignPrivate], cmp[rnuca.DesignShared]
 	r, i := cmp[rnuca.DesignRNUCA], cmp[rnuca.DesignIdeal]
 	if s.CPI() >= p.CPI() {
@@ -90,7 +113,7 @@ func TestPrivateAverseOrdering(t *testing.T) {
 func TestBatchesProduceCI(t *testing.T) {
 	opt := quick
 	opt.Batches = 3
-	r := rnuca.Run(rnuca.Em3d(), rnuca.DesignShared, opt)
+	r := run(t, rnuca.Em3d(), rnuca.DesignShared, opt)
 	if r.CPIMean <= 0 {
 		t.Fatal("batched run missing mean")
 	}
@@ -104,8 +127,8 @@ func TestBatchesProduceCI(t *testing.T) {
 }
 
 func TestClusterSizeOverride(t *testing.T) {
-	r1 := rnuca.Run(rnuca.Apache(), rnuca.DesignRNUCA, rnuca.Options{Warm: 20_000, Measure: 40_000, InstrClusterSize: 1})
-	r16 := rnuca.Run(rnuca.Apache(), rnuca.DesignRNUCA, rnuca.Options{Warm: 20_000, Measure: 40_000, InstrClusterSize: 16})
+	r1 := run(t, rnuca.Apache(), rnuca.DesignRNUCA, rnuca.RunOptions{Warm: 20_000, Measure: 40_000, InstrClusterSize: 1})
+	r16 := run(t, rnuca.Apache(), rnuca.DesignRNUCA, rnuca.RunOptions{Warm: 20_000, Measure: 40_000, InstrClusterSize: 16})
 	if r1.CPI() == r16.CPI() {
 		t.Fatal("cluster size override had no effect")
 	}
@@ -115,7 +138,7 @@ func TestMisclassificationBound(t *testing.T) {
 	// §5.2: page-granularity classification misclassifies less than 0.75%
 	// of L2 accesses.
 	for _, w := range []rnuca.Workload{rnuca.OLTPDB2(), rnuca.Apache(), rnuca.DSSQry6()} {
-		r := rnuca.Run(w, rnuca.DesignRNUCA, rnuca.Options{Warm: 60_000, Measure: 120_000})
+		r := run(t, w, rnuca.DesignRNUCA, rnuca.RunOptions{Warm: 60_000, Measure: 120_000})
 		frac := float64(r.MisclassifiedAccesses) / float64(r.ClassifiedAccesses)
 		if frac >= 0.0075 {
 			t.Errorf("%s: misclassification %.3f%% >= 0.75%%", w.Name, 100*frac)
@@ -134,7 +157,7 @@ func TestNewDesignUnknownPanics(t *testing.T) {
 
 func TestCompareCIMatchedPairs(t *testing.T) {
 	ci := rnuca.CompareCI(rnuca.MIX(), rnuca.DesignRNUCA, rnuca.DesignShared,
-		rnuca.Options{Warm: 20_000, Measure: 40_000, Batches: 3})
+		rnuca.RunOptions{Warm: 20_000, Measure: 40_000, Batches: 3})
 	if ci.N != 3 {
 		t.Fatalf("pairs = %d", ci.N)
 	}
@@ -149,7 +172,7 @@ func TestCompareCIMatchedPairs(t *testing.T) {
 }
 
 func TestASRBestOfSix(t *testing.T) {
-	r := rnuca.Run(rnuca.Em3d(), rnuca.DesignASR, rnuca.Options{Warm: 10_000, Measure: 20_000})
+	r := run(t, rnuca.Em3d(), rnuca.DesignASR, rnuca.RunOptions{Warm: 10_000, Measure: 20_000})
 	if r.Design != "A" {
 		t.Fatalf("ASR best-of-six should report as A, got %q", r.Design)
 	}
