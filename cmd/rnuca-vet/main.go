@@ -1,0 +1,68 @@
+// Command rnuca-vet runs the repo's static analyzer suite (package
+// rnuca/internal/analysis) over the given package patterns and reports
+// every finding. Exit status 1 means findings; 2 means the analysis
+// itself failed. It must run from inside the module (the loader
+// resolves the module's own import paths through the go command):
+//
+//	go run ./cmd/rnuca-vet ./...
+//	go run ./cmd/rnuca-vet -json ./... | jq '.[].code'
+//
+// See internal/analysis/doc.go for the diagnostic codes and the
+// //rnuca: annotation vocabulary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rnuca/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file/line/col/code/analyzer/message)")
+	list := flag.Bool("codes", false, "list every diagnostic code the suite can emit and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rnuca-vet [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.AllCodes() {
+			fmt.Println(c)
+		}
+		return
+	}
+
+	pkgs, err := analysis.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -331,11 +331,14 @@ func isHexDigest(s string) bool {
 // trace and corpus inputs collapse to the content digest plus the
 // window, so a sharded and a sequential replay of the same bytes — or
 // a path-backed and a store-backed one — encode identically.
+//
+//rnuca:wire
 type inputJSON struct {
 	Workload *Workload      `json:"workload,omitempty"`
 	Corpus   *corpusRefJSON `json:"corpus,omitempty"`
 }
 
+//rnuca:wire
 type corpusRefJSON struct {
 	Digest string `json:"digest,omitempty"`
 	// Ref is a non-canonical convenience for wire clients: a name or

@@ -1,0 +1,122 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's
+// stdlib-only framework.
+//
+// A fixture line expecting a diagnostic carries a trailing comment:
+//
+//	rand.Float64() // want `det-rand`
+//
+// The backquoted (or quoted) string is a regular expression matched
+// against "code: message" of every diagnostic reported on that line.
+// Multiple want comments on one line expect multiple diagnostics.
+// Every want must be matched and every diagnostic must be wanted;
+// anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rnuca/internal/analysis"
+)
+
+// wantRe extracts the expectation patterns from a // want comment.
+// Both `...` and "..." forms are accepted.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:[`\"][^`\"]*[`\"]\\s*)+)")
+
+var patRe = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+// expectation is one // want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (a testdata/src/<name>
+// directory), applies the analyzer, and reports mismatches through t.
+// It returns the diagnostics for any further assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, fixturePath(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, dir)
+	// Match every diagnostic against the wants on its line.
+	for _, d := range diags {
+		ok := false
+		text := d.Code + ": " + d.Message
+		for i := range wants {
+			w := &wants[i]
+			if w.matched || w.file != filepath.Base(d.File) || w.line != d.Line {
+				continue
+			}
+			if w.pattern.MatchString(text) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", filepath.Base(d.File)+fmt.Sprintf(":%d", d.Line), d.Code, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+	return diags
+}
+
+// fixturePath synthesizes an import path for a fixture so scope-gated
+// analyzers (determinism's result-affecting packages) engage: the
+// package directory name becomes the path's last segment under a fake
+// internal root.
+func fixturePath(dir string) string {
+	return "rnuca/internal/" + filepath.Base(dir)
+}
+
+// collectWants scans the fixture's files for // want comments.
+func collectWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var wants []expectation
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(pm[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, pm[1], err)
+				}
+				wants = append(wants, expectation{file: e.Name(), line: i + 1, pattern: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxRules enforces the repo's context-plumbing discipline in library
+// packages: a function that takes a context.Context takes it first
+// (after the receiver), nobody mints a root context with
+// context.Background()/TODO() outside main packages and tests (roots
+// belong to the caller — a library that makes its own breaks
+// cancellation end to end), and contexts do not live in struct fields
+// (a stored ctx outlives the call it scoped).
+//
+// Lifecycle-managed exceptions (a server's base context, a detached
+// cache-fill flight) are waived in place with //rnuca:ctx-ok <reason>.
+var CtxRules = &Analyzer{
+	Name: "ctxrules",
+	Doc:  "context.Context first param; no Background()/TODO() or ctx struct fields in library packages",
+	Codes: []string{
+		"ctx-notfirst",
+		"ctx-background",
+		"ctx-field",
+		annNoReasonDoc,
+	},
+	Run: runCtxRules,
+}
+
+func runCtxRules(pass *Pass) error {
+	if pass.IsMain {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkCtxParams(pass, d.Type)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						checkCtxFields(pass, ts.Name.Name, st)
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkCtxParams(pass, lit.Type)
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+				return true
+			}
+			if name := obj.Name(); name == "Background" || name == "TODO" {
+				if !pass.Suppressed(call.Pos(), "ctx-ok") {
+					pass.Reportf(call.Pos(), "ctx-background",
+						"context.%s in a library package: accept a ctx from the caller (or waive a lifecycle root with //rnuca:ctx-ok <reason>)",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTestFile reports whether a file is a _test.go file.
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// checkCtxParams flags a context.Context parameter that is not first.
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, fld := range ft.Params.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypesInfo.Types[fld.Type].Type) && idx > 0 {
+			if !pass.Suppressed(fld.Pos(), "ctx-ok") {
+				pass.Reportf(fld.Pos(), "ctx-notfirst",
+					"context.Context must be the first parameter")
+			}
+		}
+		idx += n
+	}
+}
+
+// checkCtxFields flags struct fields of type context.Context.
+func checkCtxFields(pass *Pass, structName string, st *ast.StructType) {
+	for _, fld := range st.Fields.List {
+		if !isContextType(pass.TypesInfo.Types[fld.Type].Type) {
+			continue
+		}
+		if pass.Suppressed(fld.Pos(), "ctx-ok") {
+			continue
+		}
+		name := "embedded context"
+		if len(fld.Names) > 0 {
+			name = fld.Names[0].Name
+		}
+		pass.Reportf(fld.Pos(), "ctx-field",
+			"%s.%s stores a context.Context; pass it per call (or waive a managed lifecycle with //rnuca:ctx-ok <reason>)",
+			structName, name)
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

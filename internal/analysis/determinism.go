@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism flags constructs that can make a simulation result — or
+// any output derived from one — depend on something other than the
+// input bytes: iteration over a Go map feeding accumulation or output
+// (map order is randomized per run), wall-clock reads, and draws from
+// the unseeded global math/rand source. It runs only in
+// result-affecting packages (DeterminismScope); replay must be
+// bit-identical for the paper's placement results to be reproducible,
+// and the result cache keys assume equal inputs mean equal bytes.
+//
+// A finding that is provably order-independent (an integer sum, a
+// collect-then-sort) is waived in place with
+// //rnuca:nondet-ok <reason>. Appending to a slice that is sorted
+// later in the same function is exempted automatically.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-order, wall-clock, and global-rand dependence in result-affecting packages",
+	Codes: []string{
+		"det-maprange",
+		"det-time",
+		"det-rand",
+		annNoReasonDoc,
+	},
+	Run: runDeterminism,
+}
+
+// deterministicScopeSegments are the internal package names whose code
+// contributes to simulation results. The root package ("rnuca", the
+// fold path) is scoped by exact path.
+var deterministicScopeSegments = map[string]bool{
+	"sim": true, "design": true, "cache": true, "coherence": true,
+	"noc": true, "mem": true, "ospage": true, "stats": true,
+}
+
+// DeterminismScope reports whether a package's results must be
+// bit-reproducible: the root fold path and the simulation core.
+func DeterminismScope(pkgPath string) bool {
+	if pkgPath == "rnuca" {
+		return true
+	}
+	segs := strings.Split(pkgPath, "/")
+	return len(segs) > 1 && deterministicScopeSegments[segs[len(segs)-1]]
+}
+
+// seededRandConstructors are math/rand functions that build explicitly
+// seeded generators — deterministic by construction, so not flagged.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !DeterminismScope(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObject(pass, n); obj != nil && obj.Pkg() != nil {
+					switch obj.Pkg().Path() {
+					case "time":
+						if obj.Name() == "Now" && !pass.Suppressed(n.Pos(), "nondet-ok") {
+							pass.Reportf(n.Pos(), "det-time",
+								"time.Now in a result-affecting package: wall-clock must not reach simulation results")
+						}
+					case "math/rand", "math/rand/v2":
+						// Methods (r.Float64() on an explicitly seeded
+						// *rand.Rand) are deterministic; only package-level
+						// draws hit the global source.
+						sig, _ := obj.Type().(*types.Signature)
+						if sig != nil && sig.Recv() != nil {
+							break
+						}
+						if !seededRandConstructors[obj.Name()] && !pass.Suppressed(n.Pos(), "nondet-ok") {
+							pass.Reportf(n.Pos(), "det-rand",
+								"%s.%s draws from the unseeded global source; build a seeded generator (internal/stats, or rand.New)",
+								obj.Pkg().Name(), obj.Name())
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeObject resolves a call's callee to its types object (package
+// functions and methods; nil for builtins, literals, and conversions).
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// checkMapRange flags a range over a map whose body feeds accumulation
+// or output — the shapes whose outcome can depend on iteration order.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.Suppressed(rng.Pos(), "nondet-ok") {
+		return
+	}
+	fn := enclosingFunc(file, rng.Pos())
+	if reason := orderDependentUse(pass, fn, rng); reason != "" {
+		pass.Reportf(rng.Pos(), "det-maprange",
+			"range over map %s (map iteration order is randomized; sort the keys, or waive with //rnuca:nondet-ok <reason>)", reason)
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// body containing pos.
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				best = n
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// funcBody returns a function node's body.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// orderDependentUse reports how the range body's effects could depend
+// on iteration order ("" if they provably cannot, per the heuristic):
+// appends to a slice not subsequently sorted, compound or plain
+// assignment to state declared outside the loop, returns from inside
+// the loop, emission calls (print/write/encode), and channel sends.
+func orderDependentUse(pass *Pass, fn ast.Node, rng *ast.RangeStmt) string {
+	reason := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if r := checkRangeAssign(pass, fn, rng, n); r != "" {
+				reason = r
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				reason = "returning from inside the loop selects an arbitrary element"
+			}
+		case *ast.SendStmt:
+			reason = "sending on a channel in iteration order"
+		case *ast.CallExpr:
+			if isEmissionCall(pass, n) {
+				reason = "emitting output in iteration order"
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// checkRangeAssign classifies one assignment inside a map-range body.
+func checkRangeAssign(pass *Pass, fn ast.Node, rng *ast.RangeStmt, as *ast.AssignStmt) string {
+	// append(...) accumulates in iteration order unless the slice is
+	// sorted afterwards in the same function.
+	isAppend := map[int]bool{}
+	for i, rhs := range as.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && i < len(as.Lhs) {
+				isAppend[i] = true
+				if !sortedLater(pass, fn, as.Lhs[i], rng) {
+					return "accumulating a slice in iteration order"
+				}
+			}
+		}
+	}
+	// Compound assignment (+=, |=, ...) or plain assignment to state
+	// declared outside the loop: sums of floats, min/max selection, and
+	// "last writer wins" all depend on order. Writes into another map
+	// by key are order-independent and skipped.
+	if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+		if as.Tok == token.DEFINE {
+			return ""
+		}
+		for i, lhs := range as.Lhs {
+			if isMapIndex(pass, lhs) || isAppend[i] {
+				continue
+			}
+			// Assigning a constant (found = true) lands on the same value
+			// whatever the order; only value-carrying assignments select.
+			if i < len(as.Rhs) {
+				if tv, ok := pass.TypesInfo.Types[as.Rhs[i]]; ok && tv.Value != nil {
+					continue
+				}
+			}
+			if declaredOutside(pass, lhs, rng) {
+				return "assigning outer state per iteration"
+			}
+		}
+		return ""
+	}
+	for _, lhs := range as.Lhs {
+		if isMapIndex(pass, lhs) {
+			continue
+		}
+		// Integer compound accumulation (+=, -=, |=, &=, ^=) commutes:
+		// any visit order lands on the same bits. Floats do not (their
+		// addition is not associative), shifts and string += do not.
+		if isIntegerExpr(pass, lhs) && commutativeAssignOp(as.Tok) {
+			continue
+		}
+		if declaredOutside(pass, lhs, rng) {
+			return "accumulating into outer state"
+		}
+	}
+	return ""
+}
+
+// commutativeAssignOp reports compound-assignment operators whose
+// integer semantics are order-independent.
+func commutativeAssignOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isIntegerExpr reports whether an expression's type is an integer.
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// isMapIndex reports whether an lvalue is an index into a map
+// (m[k] = v writes are keyed, hence order-independent).
+func isMapIndex(pass *Pass, e ast.Expr) bool {
+	ix, ok := unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// declaredOutside reports whether an lvalue's base variable is
+// declared outside the range statement.
+func declaredOutside(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	base := e
+	for {
+		switch b := unparen(base).(type) {
+		case *ast.SelectorExpr:
+			base = b.X
+			continue
+		case *ast.IndexExpr:
+			base = b.X
+			continue
+		case *ast.StarExpr:
+			base = b.X
+			continue
+		}
+		break
+	}
+	id, ok := unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	return pos < rng.Pos() || pos >= rng.End()
+}
+
+// sortedLater reports whether slice (an lvalue appended to inside the
+// range) is passed to a sort call later in the same function —
+// the collect-then-sort idiom, deterministic by construction.
+func sortedLater(pass *Pass, fn ast.Node, slice ast.Expr, rng *ast.RangeStmt) bool {
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	want := exprString(slice)
+	if want == "" {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		obj := calleeObject(pass, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		pkg := obj.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprString(arg) == want {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// emissionPrefixes are callee-name prefixes that emit data in call
+// order: a map-range driving one of these serializes arbitrary order.
+var emissionPrefixes = []string{"Print", "Fprint", "Write", "Encode", "AddRow", "Append"}
+
+// isEmissionCall reports whether a call writes output whose ordering
+// is observable (fmt printing, io writing, encoders, table rows).
+func isEmissionCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	for _, p := range emissionPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,575 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces the "// guarded by <mu>" annotation on struct
+// fields and package-level variables: an annotated field may only be
+// accessed where the named mutex is held. The analysis is an
+// intra-package, defer-aware heuristic — it walks each function in
+// source order tracking Lock/RLock/Unlock calls by the textual path of
+// their receiver (aliases through x := &s.f are resolved one level),
+// treats a deferred Unlock as holding to function end, and discards
+// lock-state changes made on paths that terminate (early-return
+// unlock-and-bail does not poison the fallthrough path).
+//
+// Functions whose names end in "Locked" are callee-side exempt: the
+// suffix is the repo's convention for "caller holds the lock".
+// Accesses inside composite literals (construction before the value is
+// shared) are exempt. A justified unguarded access is waived with
+// //rnuca:lock-ok <reason>.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated '// guarded by <mu>' may only be accessed under that mutex",
+	Codes: []string{
+		"lock-unheld",
+		"lock-unknown-mutex",
+		annNoReasonDoc,
+	},
+	Run: runLockGuard,
+}
+
+// guardSpec records one guarded field: the struct (or package scope)
+// it lives in and the mutex field/variable guarding it.
+type guardSpec struct {
+	mutex string // name of the guarding mutex field or package var
+}
+
+// guardIndex maps a named struct type -> field name -> guard, plus
+// package-level guarded variables.
+type guardIndex struct {
+	structs  map[*types.Named]map[string]guardSpec
+	pkgVars  map[types.Object]guardSpec
+	pkgMutex map[string]bool // package-level mutex var names seen
+}
+
+func runLockGuard(pass *Pass) error {
+	idx := collectGuards(pass)
+	if len(idx.structs) == 0 && len(idx.pkgVars) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				// Convention: the caller holds the lock for the whole call.
+				continue
+			}
+			w := &lockWalker{pass: pass, idx: idx, held: map[string]bool{}, alias: map[string]string{}}
+			w.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+// guardedByMarker extracts the mutex name from a "guarded by <mu>"
+// comment, or "".
+func guardedByMarker(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if i := strings.Index(text, "guarded by "); i >= 0 {
+				name := strings.TrimSpace(text[i+len("guarded by "):])
+				if j := strings.IndexAny(name, " .,;:"); j > 0 {
+					name = name[:j]
+				}
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// collectGuards indexes every "guarded by" annotation in the package.
+func collectGuards(pass *Pass) *guardIndex {
+	idx := &guardIndex{
+		structs: map[*types.Named]map[string]guardSpec{},
+		pkgVars: map[types.Object]guardSpec{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectStructGuards(pass, ts, st, idx)
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					mu := guardedByMarker(vs.Doc, vs.Comment)
+					if mu == "" {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							if pass.Pkg.Scope().Lookup(mu) == nil {
+								pass.Reportf(name.Pos(), "lock-unknown-mutex",
+									"%s is guarded by %q, but no package-level variable of that name exists", name.Name, mu)
+								continue
+							}
+							idx.pkgVars[obj] = guardSpec{mutex: mu}
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// collectStructGuards records the guarded fields of one struct type.
+func collectStructGuards(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, idx *guardIndex) {
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	fieldNames := map[string]bool{}
+	for _, fld := range st.Fields.List {
+		for _, n := range fld.Names {
+			fieldNames[n.Name] = true
+		}
+	}
+	for _, fld := range st.Fields.List {
+		mu := guardedByMarker(fld.Doc, fld.Comment)
+		if mu == "" {
+			continue
+		}
+		if !fieldNames[mu] {
+			pass.Reportf(fld.Pos(), "lock-unknown-mutex",
+				"guarded by %q, but %s has no field of that name", mu, ts.Name.Name)
+			continue
+		}
+		m := idx.structs[named]
+		if m == nil {
+			m = map[string]guardSpec{}
+			idx.structs[named] = m
+		}
+		for _, n := range fld.Names {
+			m[n.Name] = guardSpec{mutex: mu}
+		}
+	}
+}
+
+// lockWalker walks one function body in source order, tracking which
+// lock keys are held. Keys are textual receiver paths ("s.mu",
+// "s.stats.mu", or "regMu" for package-level mutexes).
+type lockWalker struct {
+	pass  *Pass
+	idx   *guardIndex
+	held  map[string]bool
+	alias map[string]string // local var -> canonical base path
+}
+
+// clone copies the walker state for branch-local mutation.
+func (w *lockWalker) clone() *lockWalker {
+	c := &lockWalker{pass: w.pass, idx: w.idx,
+		held: make(map[string]bool, len(w.held)), alias: make(map[string]string, len(w.alias))}
+	for k, v := range w.held {
+		c.held[k] = v
+	}
+	for k, v := range w.alias {
+		c.alias[k] = v
+	}
+	return c
+}
+
+// adopt takes the lock state from a completed non-terminating branch.
+func (w *lockWalker) adopt(c *lockWalker) {
+	w.held = c.held
+	w.alias = c.alias
+}
+
+// block processes a statement list sequentially.
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+// terminates reports whether a statement unconditionally leaves the
+// enclosing flow (return, branch, panic, or os.Exit-like call).
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return terminates(s.List[n-1])
+		}
+	}
+	return false
+}
+
+// blockTerminates reports whether a block's last statement terminates.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return terminates(b.List[len(b.List)-1])
+}
+
+// stmt processes one statement.
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l)
+		}
+		w.recordAliases(s)
+	case *ast.DeferStmt:
+		// A deferred Unlock holds the lock to function end: note the
+		// Lock it pairs with but do not clear held state. A deferred
+		// Lock (rare) is ignored. Arguments are still checked.
+		if key, op := lockCallKey(w, s.Call); key != "" && (op == "Unlock" || op == "RUnlock") {
+			// keep held as-is
+		} else {
+			w.expr(s.Call)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs later, without the locks held here:
+		// check it with an empty lock set.
+		g := &lockWalker{pass: w.pass, idx: w.idx, held: map[string]bool{}, alias: map[string]string{}}
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			g.block(lit.Body)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		then := w.clone()
+		then.block(s.Body)
+		var els *lockWalker
+		if s.Else != nil {
+			els = w.clone()
+			els.stmt(s.Else)
+		}
+		// Continue with the state of a non-terminating branch; prefer
+		// the then-branch, then else, then the pre-if state (both
+		// terminated: unreachable fallthrough keeps entry state).
+		switch {
+		case !blockTerminates(s.Body):
+			w.adopt(then)
+		case els != nil && !elseTerminates(s.Else):
+			w.adopt(els)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		body := w.clone()
+		body.block(s.Body)
+		if s.Post != nil {
+			body.stmt(s.Post)
+		}
+		w.adopt(body)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		body := w.clone()
+		body.block(s.Body)
+		w.adopt(body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.branches(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		w.branches(s.Body)
+	case *ast.SelectStmt:
+		w.branches(s.Body)
+	case *ast.BlockStmt:
+		inner := w.clone()
+		inner.block(s)
+		if !blockTerminates(s) {
+			w.adopt(inner)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// elseTerminates handles the else arm, which is a block or another if.
+func elseTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	case *ast.IfStmt:
+		return blockTerminates(s.Body) && s.Else != nil && elseTerminates(s.Else)
+	}
+	return false
+}
+
+// branches processes switch/select clause bodies: each clause starts
+// from the entry state; a non-terminating clause's exit state carries
+// forward (optimistic merge — the heuristic prefers false negatives
+// over false positives).
+func (w *lockWalker) branches(body *ast.BlockStmt) {
+	var carry *lockWalker
+	for _, cl := range body.List {
+		c := w.clone()
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.expr(e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.stmt(cl.Comm)
+			}
+			stmts = cl.Body
+		}
+		for _, s := range stmts {
+			c.stmt(s)
+		}
+		if carry == nil && (len(stmts) == 0 || !terminates(stmts[len(stmts)-1])) {
+			carry = c
+		}
+	}
+	if carry != nil {
+		w.adopt(carry)
+	}
+}
+
+// recordAliases tracks x := &s.f / x := s.f so accesses through the
+// alias resolve to the canonical path.
+func (w *lockWalker) recordAliases(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, l := range s.Lhs {
+		id, ok := unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if target := w.canonical(exprString(s.Rhs[i])); target != "" && strings.Contains(target, ".") {
+			w.alias[id.Name] = target
+		}
+	}
+}
+
+// canonical resolves the leading alias of a dotted path, if any.
+func (w *lockWalker) canonical(path string) string {
+	if path == "" {
+		return ""
+	}
+	for i := 0; i < 4; i++ { // bounded: alias chains are shallow
+		head, rest, cut := strings.Cut(path, ".")
+		target, ok := w.alias[head]
+		if !ok {
+			return path
+		}
+		if cut {
+			path = target + "." + rest
+		} else {
+			path = target
+		}
+	}
+	return path
+}
+
+// lockCallKey recognizes X.Lock/RLock/Unlock/RUnlock calls, returning
+// the canonical key for X and the operation name.
+func lockCallKey(w *lockWalker, call *ast.CallExpr) (key, op string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	base := exprString(sel.X)
+	if base == "" {
+		return "", ""
+	}
+	return w.canonical(base), sel.Sel.Name
+}
+
+// expr walks an expression, updating lock state on Lock/Unlock calls
+// and checking guarded accesses.
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if key, op := lockCallKey(w, n); key != "" {
+				switch op {
+				case "Lock", "RLock":
+					w.held[key] = true
+				case "Unlock", "RUnlock":
+					delete(w.held, key)
+				}
+				return false
+			}
+		case *ast.FuncLit:
+			// A non-go, non-defer closure: conservatively assume it runs
+			// in place with the current lock state.
+			inner := w.clone()
+			inner.block(n.Body)
+			return false
+		case *ast.CompositeLit:
+			// Construction: the value is not shared yet; skip field keys
+			// but still walk the element values.
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					w.expr(kv.Value)
+				} else {
+					w.expr(el)
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			w.checkSelector(n)
+		case *ast.Ident:
+			w.checkPkgVar(n)
+		}
+		return true
+	})
+}
+
+// checkSelector checks a field access against the guard index.
+func (w *lockWalker) checkSelector(sel *ast.SelectorExpr) {
+	selInfo, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	named := namedOf(selInfo.Recv())
+	if named == nil {
+		return
+	}
+	guards, ok := w.idx.structs[named]
+	if !ok {
+		return
+	}
+	g, ok := guards[sel.Sel.Name]
+	if !ok {
+		return
+	}
+	base := w.canonical(exprString(sel.X))
+	if base == "" {
+		// Unrenderable base (call result, index chain): the heuristic
+		// cannot track it; let it pass rather than cry wolf.
+		return
+	}
+	key := base + "." + g.mutex
+	if w.held[key] {
+		return
+	}
+	if w.pass.Suppressed(sel.Pos(), "lock-ok") {
+		return
+	}
+	w.pass.Reportf(sel.Pos(), "lock-unheld",
+		"%s.%s is guarded by %s, which is not held here (lock it, rename the function *Locked, or waive with //rnuca:lock-ok <reason>)",
+		base, sel.Sel.Name, key)
+}
+
+// checkPkgVar checks a package-level guarded variable access.
+func (w *lockWalker) checkPkgVar(id *ast.Ident) {
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	g, ok := w.idx.pkgVars[obj]
+	if !ok {
+		return
+	}
+	if w.held[g.mutex] {
+		return
+	}
+	if w.pass.Suppressed(id.Pos(), "lock-ok") {
+		return
+	}
+	w.pass.Reportf(id.Pos(), "lock-unheld",
+		"%s is guarded by %s, which is not held here", id.Name, g.mutex)
+}
+
+// namedOf unwraps pointers to the named struct type, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			if _, ok := tt.Underlying().(*types.Struct); ok {
+				return tt
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsNames keeps the metric namespace greppable and the dashboards
+// stable: every registration on an obs Registry must use a
+// compile-time constant name matching
+// ^rnuca_[a-z0-9_]+(_total|_seconds|_bytes)?$, with the unit suffix
+// agreeing with the metric type (counters count — _total; histograms
+// measure — _seconds or _bytes; gauges are levels — never _total).
+// Histogram buckets come from the shared helpers (ExpBuckets,
+// DefSecondsBuckets), not ad-hoc []float64 literals, so latency
+// distributions stay comparable across metrics.
+//
+// Test files are exempt: registry tests exercise the registry itself,
+// not the product namespace.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "obs Registry metrics use constant rnuca_* names with type-matched suffixes and shared bucket helpers",
+	Codes: []string{
+		"obs-name-literal",
+		"obs-name-format",
+		"obs-buckets",
+	},
+	Run: runObsNames,
+}
+
+// registryMethods maps the Registry registration methods to their
+// metric kind.
+var registryMethods = map[string]string{
+	"Counter": "counter", "CounterVec": "counter",
+	"Gauge": "gauge", "GaugeVec": "gauge",
+	"Histogram": "histogram", "HistogramVec": "histogram",
+}
+
+var obsNamePattern = regexp.MustCompile(`^rnuca_[a-z0-9_]+$`)
+
+func runObsNames(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricName(pass, call, kind)
+			if kind == "histogram" && len(call.Args) >= 3 {
+				checkBuckets(pass, call.Args[2])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryCall matches r.Counter(...)-style calls where r is an obs
+// Registry (a type named Registry declared in a package whose import
+// path ends in "obs" — which covers both internal/obs and the
+// fixture packages the analyzer tests load).
+func registryCall(pass *Pass, call *ast.CallExpr) (kind string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	kind, isReg := registryMethods[sel.Sel.Name]
+	if !isReg {
+		return "", false
+	}
+	tv, okT := pass.TypesInfo.Types[sel.X]
+	if !okT || tv.Type == nil {
+		return "", false
+	}
+	named := namedOf(tv.Type)
+	if named == nil || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !strings.HasSuffix(pkg.Path(), "obs") {
+		return "", false
+	}
+	return kind, true
+}
+
+// checkMetricName enforces the constant-literal and format rules on a
+// registration's name argument.
+func checkMetricName(pass *Pass, call *ast.CallExpr, kind string) {
+	arg := call.Args[0]
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "obs-name-literal",
+			"metric name must be a compile-time constant string (computed names defeat grep and break dashboards)")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	suffix := ""
+	for _, s := range []string{"_total", "_seconds", "_bytes"} {
+		if strings.HasSuffix(name, s) {
+			suffix = s
+			break
+		}
+	}
+	base := strings.TrimSuffix(name, suffix)
+	if !obsNamePattern.MatchString(base) {
+		pass.Reportf(arg.Pos(), "obs-name-format",
+			"metric name %q must match ^rnuca_[a-z0-9_]+(_total|_seconds|_bytes)?$", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if suffix != "_total" {
+			pass.Reportf(arg.Pos(), "obs-name-format",
+				"counter %q must end in _total (counters count)", name)
+		}
+	case "histogram":
+		if suffix != "_seconds" && suffix != "_bytes" {
+			pass.Reportf(arg.Pos(), "obs-name-format",
+				"histogram %q must end in _seconds or _bytes (histograms measure a unit)", name)
+		}
+	case "gauge":
+		if suffix == "_total" {
+			pass.Reportf(arg.Pos(), "obs-name-format",
+				"gauge %q must not end in _total (gauges are levels, not counts)", name)
+		}
+	}
+}
+
+// checkBuckets flags inline bucket literals: the shared helpers keep
+// histogram resolutions comparable.
+func checkBuckets(pass *Pass, arg ast.Expr) {
+	if lit, ok := unparen(arg).(*ast.CompositeLit); ok {
+		if t := pass.TypesInfo.Types[lit].Type; t != nil {
+			if sl, ok := t.Underlying().(*types.Slice); ok {
+				if basic, ok := sl.Elem().(*types.Basic); ok && basic.Kind() == types.Float64 {
+					pass.Reportf(arg.Pos(), "obs-buckets",
+						"inline bucket literal; use ExpBuckets or DefSecondsBuckets so distributions stay comparable")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package ctx is a ctxrules fixture (a library package: the rules
+// apply).
+package ctx
+
+import "context"
+
+// Good: ctx first.
+func fetch(ctx context.Context, url string) error {
+	_ = ctx
+	_ = url
+	return nil
+}
+
+// Bad: ctx not first.
+func fetchLate(url string, ctx context.Context) error { // want `ctx-notfirst`
+	_ = ctx
+	_ = url
+	return nil
+}
+
+// Bad: minting a root in a library.
+func run() error {
+	ctx := context.Background() // want `ctx-background`
+	return fetch(ctx, "x")
+}
+
+// Bad: TODO is still a root.
+func later() error {
+	return fetch(context.TODO(), "x") // want `ctx-background`
+}
+
+// Bad: a stored context outlives its call.
+type client struct {
+	ctx  context.Context // want `ctx-field`
+	name string
+}
+
+// Good: a justified waiver.
+type server struct {
+	//rnuca:ctx-ok fixture: server-lifetime root canceled by Shutdown
+	base context.Context
+}
+
+// Good: a waived root with a reason.
+func boot() *server {
+	//rnuca:ctx-ok fixture: the process root
+	return &server{base: context.Background()}
+}

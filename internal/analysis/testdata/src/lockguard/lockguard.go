@@ -1,0 +1,91 @@
+// Package lockguard is a lockguard fixture.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int      // guarded by mu
+	m  []string // guarded by missing // want `lock-unknown-mutex`
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]int{} // guarded by regMu
+)
+
+// Good: plain lock/unlock bracket.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Good: deferred unlock holds to function end.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad: no lock at all.
+func (c *counter) peek() int {
+	return c.n // want `lock-unheld`
+}
+
+// Good: the Locked suffix says the caller holds it.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// Good: early-return-unlock does not poison the fallthrough path.
+func (c *counter) tryGet(ok bool) int {
+	c.mu.Lock()
+	if !ok {
+		c.mu.Unlock()
+		return -1
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Bad: the lock is released before the second read.
+func (c *counter) reread() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want `lock-unheld`
+}
+
+// Bad: a goroutine body starts with no locks held.
+func (c *counter) async() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `lock-unheld`
+	}()
+}
+
+// Good: construction before the value is shared.
+func newCounter() *counter {
+	return &counter{n: 1}
+}
+
+// Good: package-level var under its RWMutex.
+func lookup(k string) int {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[k]
+}
+
+// Bad: package-level var without the lock.
+func lookupRacy(k string) int {
+	return registry[k] // want `lock-unheld`
+}
+
+// Good: a justified waiver.
+func (c *counter) snapshot() int {
+	//rnuca:lock-ok fixture: value is exclusively owned during snapshot
+	return c.n
+}

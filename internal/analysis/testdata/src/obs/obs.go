@@ -1,0 +1,56 @@
+// Package obs is an obsnames fixture: a stand-in Registry with the
+// real registration surface, so the analyzer's receiver matching
+// (a type named Registry in a package path ending "obs") engages.
+package obs
+
+// Registry mimics the real registration surface.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) int { return 0 }
+
+// CounterVec registers a labeled counter.
+func (r *Registry) CounterVec(name, help string, labels ...string) int { return 0 }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) int { return 0 }
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) int { return 0 }
+
+// HistogramVec registers a labeled histogram.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) int {
+	return 0
+}
+
+// ExpBuckets is the shared bucket helper.
+func ExpBuckets(start, factor float64, n int) []float64 { return nil }
+
+func register(reg *Registry, suffix string) {
+	// Good: constant names, matching suffixes, shared buckets.
+	reg.Counter("rnuca_jobs_done_total", "Jobs done.")
+	reg.Gauge("rnuca_jobs_queued", "Jobs queued.")
+	reg.Histogram("rnuca_job_wait_seconds", "Wait time.", ExpBuckets(0.01, 2, 10))
+	reg.HistogramVec("rnuca_blob_size_bytes", "Blob sizes.", ExpBuckets(1, 4, 8), "kind")
+
+	// Bad: computed name.
+	reg.Counter("rnuca_jobs_"+suffix, "Computed.") // want `obs-name-literal`
+
+	// Bad: not in the rnuca_ namespace.
+	reg.Counter("jobs_total", "Unprefixed.") // want `obs-name-format`
+
+	// Bad: counter without _total.
+	reg.Counter("rnuca_jobs_done", "Suffixless counter.") // want `obs-name-format`
+
+	// Bad: histogram without a unit suffix.
+	reg.Histogram("rnuca_job_wait", "Unitless.", ExpBuckets(0.01, 2, 10)) // want `obs-name-format`
+
+	// Bad: a gauge is a level, not a count.
+	reg.Gauge("rnuca_workers_total", "Miscounted gauge.") // want `obs-name-format`
+
+	// Bad: inline bucket literal.
+	reg.Histogram("rnuca_job_run_seconds", "Run time.", []float64{1, 2, 4}) // want `obs-buckets`
+
+	// Bad: uppercase.
+	reg.CounterVec("rnuca_Jobs_total", "Cased.", "kind") // want `obs-name-format`
+}

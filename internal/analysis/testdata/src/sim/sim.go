@@ -1,0 +1,138 @@
+// Package sim is a determinism fixture: its directory name puts it in
+// the analyzer's result-affecting scope.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Bad: wall-clock in a result-affecting package.
+func stamp() int64 {
+	return time.Now().Unix() // want `det-time`
+}
+
+// Bad: unseeded global rand.
+func jitter() float64 {
+	return rand.Float64() // want `det-rand`
+}
+
+// Good: an explicitly seeded generator is deterministic.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+// Bad: appending in map order without sorting.
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `det-maprange`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Good: collect-then-sort is deterministic by construction.
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bad: float accumulation does not commute.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `det-maprange`
+		s += v
+	}
+	return s
+}
+
+// Good: integer accumulation commutes.
+func sumInts(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Good: keyed writes into another map are order-independent.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Bad: last-writer-wins selection depends on order.
+func pickAny(m map[string]int) int {
+	var chosen int
+	for _, v := range m { // want `det-maprange`
+		chosen = v
+	}
+	return chosen
+}
+
+// Good: assigning a constant lands on the same value in any order.
+func hasNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// Bad: returning from inside the loop selects an arbitrary element.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `det-maprange`
+		return k
+	}
+	return ""
+}
+
+// Bad: emission in iteration order.
+func dump(m map[string]int) {
+	for k, v := range m { // want `det-maprange`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Bad: sending on a channel in iteration order.
+func feed(m map[string]int, ch chan int) {
+	for _, v := range m { // want `det-maprange`
+		ch <- v
+	}
+}
+
+// Good: a justified waiver suppresses the finding.
+func maxValue(m map[string]int) int {
+	best := 0
+	//rnuca:nondet-ok max of ints is order-independent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Bad: a bare waiver does not suppress, and is itself flagged.
+func minValue(m map[string]int) int {
+	worst := 1 << 62
+	//rnuca:nondet-ok
+	for _, v := range m { // want `det-maprange` `ann-noreason`
+		if v < worst {
+			worst = v
+		}
+	}
+	return worst
+}

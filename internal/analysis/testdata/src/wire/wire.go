@@ -1,0 +1,54 @@
+// Package wire is a wirefrozen fixture.
+package wire
+
+import "encoding/json"
+
+// Frozen is a marked wire struct with one tagged and one untagged
+// field, plus references into the package.
+//
+//rnuca:wire
+type Frozen struct {
+	Name  string `json:"name"`
+	Count int    // want `wire-notag`
+
+	Child  Tagged     `json:"child"`
+	Orphan Untagged   `json:"orphan"` // want `wire-unmarked`
+	List   []*Orphan2 `json:"list"`   // want `wire-unmarked`
+
+	// Custom's type controls its own bytes via MarshalJSON.
+	Custom SelfMarshal `json:"custom"`
+
+	unexported int //nolint:unused // unexported fields never encode
+}
+
+// Tagged is in the closure and marked.
+//
+//rnuca:wire
+type Tagged struct {
+	V int `json:"v"`
+}
+
+// Untagged is reachable from Frozen but not marked.
+type Untagged struct {
+	V int `json:"v"`
+}
+
+// Orphan2 is reachable through a slice field and not marked.
+type Orphan2 struct {
+	V int `json:"v"`
+}
+
+// SelfMarshal controls its own encoding.
+type SelfMarshal struct {
+	V int
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s SelfMarshal) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.V)
+}
+
+// Unrelated is not part of any wire shape; untagged fields are fine.
+type Unrelated struct {
+	Whatever int
+}

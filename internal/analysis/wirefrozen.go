@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strconv"
+)
+
+// WireFrozen guards the canonical encoding: structs marked
+// //rnuca:wire are part of a frozen wire shape (the rnuca.Job canonical
+// JSON, serve's HTTP bodies, resultcache's JobKey input), where an
+// implicit field-name encoding silently forks cache keys when a field
+// is renamed. Every exported field of a marked struct must carry an
+// explicit json tag, and every same-package named struct a marked
+// struct embeds in its fields must itself be marked — the closure of a
+// wire shape is wire.
+//
+// Structs that define their own MarshalJSON control their encoding
+// explicitly and are skipped (the golden tests freeze those bytes).
+// Embedded fields need no tag (their fields inline) but their types
+// join the closure.
+var WireFrozen = &Analyzer{
+	Name: "wirefrozen",
+	Doc:  "exported fields of //rnuca:wire structs need explicit json tags; referenced structs need marks",
+	Codes: []string{
+		"wire-notag",
+		"wire-unmarked",
+	},
+	Run: runWireFrozen,
+}
+
+func runWireFrozen(pass *Pass) error {
+	// Pass 1: find every marked struct and every struct decl, by name.
+	marked := map[*types.Named]bool{}
+	decls := map[*types.Named]*declaredStruct{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				decls[named] = &declaredStruct{spec: ts, st: st}
+				// The mark may sit on the type line, above it, or on the
+				// GenDecl ("type ( ... )" blocks put the doc there).
+				if pass.markedAt(ts.Pos(), "wire") || pass.markedAt(gd.Pos(), "wire") {
+					marked[named] = true
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+	for named := range marked {
+		d := decls[named]
+		if d == nil {
+			continue
+		}
+		checkWireStruct(pass, named, d, marked)
+	}
+	return nil
+}
+
+// declaredStruct pairs a struct's type spec with its syntax.
+type declaredStruct struct {
+	spec *ast.TypeSpec
+	st   *ast.StructType
+}
+
+// markedAt reports whether a //rnuca:<kind> annotation covers pos
+// (same line or the line above), without requiring a reason — marks
+// are declarations, not waivers.
+func (p *Pass) markedAt(pos token.Pos, kind string) bool {
+	position := p.Fset.Position(pos)
+	_, ok := p.ann.at(position.Filename, position.Line, kind)
+	return ok
+}
+
+// checkWireStruct enforces tags and closure on one marked struct.
+func checkWireStruct(pass *Pass, named *types.Named, d *declaredStruct, marked map[*types.Named]bool) {
+	if hasMarshalJSON(named) {
+		return
+	}
+	name := d.spec.Name.Name
+	for _, fld := range d.st.Fields.List {
+		embedded := len(fld.Names) == 0
+		exported := embedded
+		for _, n := range fld.Names {
+			if n.IsExported() {
+				exported = true
+			}
+		}
+		if !exported {
+			continue
+		}
+		if !embedded && !hasJSONTag(fld) {
+			for _, n := range fld.Names {
+				if !n.IsExported() {
+					continue
+				}
+				pass.Reportf(n.Pos(), "wire-notag",
+					"%s.%s is part of a frozen wire shape but has no json tag; tag it with the current encoded name (or json:\"-\")",
+					name, n.Name)
+			}
+		}
+		// Closure: same-package named structs used in the field type must
+		// themselves be marked (their fields are part of the encoding).
+		tv := pass.TypesInfo.Types[fld.Type]
+		if tv.Type == nil {
+			continue
+		}
+		for _, ref := range reachableStructs(tv.Type, pass.Pkg) {
+			if !marked[ref] && !hasMarshalJSON(ref) {
+				pass.Reportf(fld.Type.Pos(), "wire-unmarked",
+					"%s reaches struct %s through this field; mark %s with //rnuca:wire (its fields are part of the frozen encoding)",
+					name, ref.Obj().Name(), ref.Obj().Name())
+			}
+		}
+	}
+}
+
+// hasJSONTag reports whether a field carries an explicit json struct
+// tag.
+func hasJSONTag(fld *ast.Field) bool {
+	if fld.Tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(fld.Tag.Value)
+	if err != nil {
+		return false
+	}
+	_, ok := reflect.StructTag(raw).Lookup("json")
+	return ok
+}
+
+// hasMarshalJSON reports whether the type (or its pointer) defines
+// MarshalJSON — it controls its own encoding.
+func hasMarshalJSON(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		if ms.Lookup(named.Obj().Pkg(), "MarshalJSON") != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableStructs returns the same-package named struct types a field
+// type reaches through pointers, slices, arrays, and map values (map
+// keys encode as strings; channel/func types never encode).
+func reachableStructs(t types.Type, pkg *types.Package) []*types.Named {
+	var out []*types.Named
+	seen := map[types.Type]bool{}
+	var walk func(types.Type)
+	walk = func(t types.Type) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		switch tt := t.(type) {
+		case *types.Named:
+			if _, ok := tt.Underlying().(*types.Struct); ok {
+				if tt.Obj().Pkg() == pkg {
+					out = append(out, tt)
+				}
+				return
+			}
+			walk(tt.Underlying())
+		case *types.Pointer:
+			walk(tt.Elem())
+		case *types.Slice:
+			walk(tt.Elem())
+		case *types.Array:
+			walk(tt.Elem())
+		case *types.Map:
+			walk(tt.Elem())
+		}
+	}
+	walk(t)
+	return out
+}

@@ -1,0 +1,37 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"rnuca/internal/cache"
+)
+
+// TestCheckInvariantsDeterministic is the regression for the
+// map-order dependence rnuca-vet surfaced: with several violations
+// present, CheckInvariants must report the one at the lowest address
+// on every run, not whichever the map yields first.
+func TestCheckInvariantsDeterministic(t *testing.T) {
+	build := func() *Directory {
+		d := NewDirectory(4)
+		// Three empty entries — each a violation on its own.
+		for _, a := range []cache.Addr{0x3000, 0x1000, 0x2000} {
+			d.entries[a] = &Entry{Owner: -1}
+		}
+		return d
+	}
+	want := build().CheckInvariants()
+	if want == nil {
+		t.Fatal("expected a violation")
+	}
+	for i := 0; i < 50; i++ {
+		got := build().CheckInvariants()
+		if got == nil || got.Error() != want.Error() {
+			t.Fatalf("run %d reported %v, earlier run reported %v", i, got, want)
+		}
+	}
+	const lowest = "block 0x1000"
+	if got := want.Error(); !strings.Contains(got, lowest) {
+		t.Fatalf("violation %q does not name the lowest address", got)
+	}
+}

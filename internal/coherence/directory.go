@@ -18,6 +18,7 @@ package coherence
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"rnuca/internal/cache"
 )
@@ -293,10 +294,17 @@ func (d *Directory) Stats() DirStats {
 }
 
 // CheckInvariants walks every entry validating MOSI invariants: owner not
-// in sharer set, no empty entries. It returns the first violation found.
+// in sharer set, no empty entries. It returns the violation at the lowest
+// address, so a corrupt directory reports the same error on every run.
 // The simulator's audit mode calls this after every window.
 func (d *Directory) CheckInvariants() error {
-	for addr, e := range d.entries {
+	addrs := make([]cache.Addr, 0, len(d.entries))
+	for addr := range d.entries {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		e := d.entries[addr]
 		if e.Owner < -1 || e.Owner >= d.tiles {
 			return fmt.Errorf("coherence: block %#x owner %d out of range", uint64(addr), e.Owner)
 		}

@@ -26,6 +26,8 @@ var ErrCorrupt = errors.New("corpus: corrupt object")
 
 // Entry describes one stored corpus: its content digest, sizes, and the
 // tracefile header summary recorded in its manifest.
+//
+//rnuca:wire
 type Entry struct {
 	// Digest is the lowercase hex SHA-256 of the trace file's bytes —
 	// the address the object is stored and requested under.
@@ -57,8 +59,11 @@ type Entry struct {
 // place, so a crash never leaves a half-written object addressable.
 // A Store is safe for concurrent use within one process.
 type Store struct {
-	root string
-	mu   sync.Mutex
+	root string // set at Open, immutable after
+	// mu serializes ref mutations: the guarded state is the refs/
+	// directory on disk, not a field, so read-modify-write ref updates
+	// (SetRef's compare-and-swap) stay atomic within the process.
+	mu sync.Mutex
 }
 
 // Open opens (creating as needed) a store rooted at dir.

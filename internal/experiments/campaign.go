@@ -20,6 +20,8 @@ import (
 )
 
 // Scale sizes an experiment run.
+//
+//rnuca:wire
 type Scale struct {
 	// Warm and Measure are chip-wide reference counts per simulation.
 	Warm    int `json:"warm,omitempty"`
@@ -55,8 +57,9 @@ type Campaign struct {
 	inputs   map[string]rnuca.Input          // workload name -> registered input
 	ingested map[string]rnuca.Workload       // ingested corpora, by name
 	rcache   *resultcache.Cache              // shared memoized results, optional
-	runCtx   context.Context                 // cancellation path, optional
-	gauge    *rnuca.ProgressGauge            // per-cell observation gauge, optional
+	//rnuca:ctx-ok campaign-lifetime cancellation root, set once by SetContext before any run
+	runCtx context.Context      // cancellation path, optional
+	gauge  *rnuca.ProgressGauge // per-cell observation gauge, optional
 }
 
 // NewCampaign builds an empty campaign at the given scale.
@@ -121,6 +124,7 @@ func (c *Campaign) ctx() context.Context {
 	if c.runCtx != nil {
 		return c.runCtx
 	}
+	//rnuca:ctx-ok fallback root for campaigns that never call SetContext; there is no caller ctx to inherit
 	return context.Background()
 }
 

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReportOutputByteIdentical asserts the figure/report aggregation
+// path is deterministic end to end: two independent campaigns at the
+// same scale must render byte-identical tables (text and CSV). This is
+// the invariant rnuca-vet's determinism analyzer defends statically —
+// here it is checked dynamically, through real map-heavy aggregation.
+func TestReportOutputByteIdentical(t *testing.T) {
+	render := func() []byte {
+		c := NewCampaign(tiny())
+		var buf bytes.Buffer
+		f3, f4 := c.Fig3(), c.Fig4()
+		f3.Render(&buf)
+		f3.CSV(&buf)
+		f4.Render(&buf)
+		f4.CSV(&buf)
+		return buf.Bytes()
+	}
+	first := render()
+	if len(first) == 0 {
+		t.Fatal("empty report output")
+	}
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("report output differs between identical runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

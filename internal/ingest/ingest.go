@@ -57,7 +57,7 @@ type Format struct {
 
 var (
 	regMu    sync.RWMutex
-	registry = map[string]Format{}
+	registry = map[string]Format{} // guarded by regMu
 )
 
 // Register adds a format to the registry; it panics on a duplicate or

@@ -4,14 +4,16 @@ import "fmt"
 
 // LinkConfig carries the physical parameters of the interconnect from
 // Table 1 of the paper.
+//
+//rnuca:wire
 type LinkConfig struct {
 	// LinkBytes is the link width: bytes moved per flit (32 in Table 1).
-	LinkBytes int
+	LinkBytes int `json:"LinkBytes"`
 	// LinkLatency is the per-hop wire latency in cycles (1 in Table 1).
-	LinkLatency int
+	LinkLatency int `json:"LinkLatency"`
 	// RouterLatency is the per-hop router pipeline latency in cycles
 	// (2 in Table 1).
-	RouterLatency int
+	RouterLatency int `json:"RouterLatency"`
 }
 
 // DefaultLinkConfig returns the Table 1 interconnect parameters.

@@ -16,9 +16,9 @@ import (
 // render in registration order, labeled children sorted by label value.
 type Registry struct {
 	mu     sync.Mutex
-	fams   []*family
-	byName map[string]*family
-	hooks  []func()
+	fams   []*family          // guarded by mu
+	byName map[string]*family // guarded by mu
+	hooks  []func()           // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -43,8 +43,8 @@ type family struct {
 	labels []string
 
 	mu       sync.Mutex
-	children map[string]metric
-	order    []string
+	children map[string]metric // guarded by mu
+	order    []string          // guarded by mu
 }
 
 type metric interface {
@@ -270,10 +270,10 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 // rest. The zero bucket list is replaced by DefSecondsBuckets.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64
-	counts []uint64 // len(bounds)+1; last is +Inf
-	sum    float64
-	count  uint64
+	bounds []float64 // guarded by mu
+	counts []uint64  // guarded by mu; len(bounds)+1; last is +Inf
+	sum    float64   // guarded by mu
+	count  uint64    // guarded by mu
 }
 
 func newHistogram(bounds []float64) *Histogram {

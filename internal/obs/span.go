@@ -11,6 +11,8 @@ import (
 const DefaultTraceSpans = 1024
 
 // SpanData is one finished span as exported over JSON.
+//
+//rnuca:wire
 type SpanData struct {
 	// Name is the stage name ("sim.cell", "job.queue", ...).
 	Name string `json:"name"`
@@ -24,6 +26,8 @@ type SpanData struct {
 
 // StageTiming aggregates every span of one name: the per-stage
 // wall-clock breakdown a Result's Timing carries.
+//
+//rnuca:wire
 type StageTiming struct {
 	Stage   string  `json:"stage"`
 	Seconds float64 `json:"seconds"`
@@ -35,9 +39,9 @@ type StageTiming struct {
 // so a long-lived process cannot grow a trace without bound.
 type Trace struct {
 	mu      sync.Mutex
-	cap     int
-	spans   []SpanData
-	dropped uint64
+	cap     int        // set at construction, immutable after
+	spans   []SpanData // guarded by mu
+	dropped uint64     // guarded by mu
 }
 
 // NewTrace returns a trace holding up to capacity spans
@@ -100,6 +104,7 @@ type traceKey struct{}
 // the returned context accumulate in it.
 func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
 	if ctx == nil {
+		//rnuca:ctx-ok nil-ctx convenience guard; the root exists only to carry the trace value
 		ctx = context.Background()
 	}
 	return context.WithValue(ctx, traceKey{}, t)
@@ -123,8 +128,8 @@ type Span struct {
 	start time.Time
 
 	mu    sync.Mutex
-	attrs map[string]string
-	done  bool
+	attrs map[string]string // guarded by mu
+	done  bool              // guarded by mu
 }
 
 // StartSpan starts a span on the context's trace. Without a trace it

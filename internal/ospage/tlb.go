@@ -56,6 +56,7 @@ func (t *TLB) Fill(p PageID, class Class, owner int) {
 	if len(t.lines) >= t.entries {
 		var victim PageID
 		var oldest uint64 = ^uint64(0)
+		//rnuca:nondet-ok victim selection is totally ordered by (lru, id): the id tie-break picks the same line in any iteration order
 		for id, l := range t.lines {
 			if l.lru < oldest || (l.lru == oldest && id < victim) {
 				victim, oldest = id, l.lru

@@ -10,10 +10,12 @@ import (
 )
 
 // Table is a simple column-aligned text table.
+//
+//rnuca:wire
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"Title"`
+	Headers []string   `json:"Headers"`
+	Rows    [][]string `json:"Rows"`
 }
 
 // NewTable builds a table with the given title and column headers.

@@ -85,10 +85,10 @@ type flight struct {
 // LRU fronted by singleflight deduplication.
 type Cache struct {
 	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used; values are *entry
-	entries map[string]*list.Element
-	flights map[string]*flight
+	cap     int                      // set at construction, immutable after
+	ll      *list.List               // guarded by mu; front = most recently used; values are *entry
+	entries map[string]*list.Element // guarded by mu
+	flights map[string]*flight       // guarded by mu
 
 	hits, misses, shared, errs, evictions atomic.Uint64
 
@@ -154,9 +154,9 @@ func (c *Cache) Get(key string) (any, bool) {
 	return nil, false
 }
 
-// put stores a value under key, evicting from the LRU tail as needed.
+// putLocked stores a value under key, evicting from the LRU tail as needed.
 // Callers hold c.mu.
-func (c *Cache) put(key string, val any) {
+func (c *Cache) putLocked(key string, val any) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*entry).val = val
 		c.ll.MoveToFront(el)
@@ -210,6 +210,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 		}
 		// Start the flight. Its context is independent of any single
 		// caller's: cancellation is driven by the waiter refcount.
+		//rnuca:ctx-ok flights are detached from callers by design; the refcount cancels this root when the last waiter leaves
 		fctx, cancel := context.WithCancel(context.Background())
 		f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 		c.flights[key] = f
@@ -222,7 +223,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 			c.mu.Lock()
 			f.val, f.err = v, err
 			if err == nil {
-				c.put(key, v)
+				c.putLocked(key, v)
 			} else {
 				c.errs.Add(1)
 				bump(c.obsErrs)

@@ -50,6 +50,8 @@ func (s JobState) terminal() bool {
 //
 // Convert and figure jobs — service-side pipelines, not single
 // simulations — keep kind-based spec objects.
+//
+//rnuca:wire
 type JobSpec struct {
 	// Kind is "sim" for canonical simulation payloads, "convert" or
 	// "figure" for the service pipelines.
@@ -126,6 +128,8 @@ func (s JobSpec) MarshalJSON() ([]byte, error) {
 // (Figure 2–5 characterization analyses plus the Figure 12 design
 // comparison) over stored corpora. Scale fields left zero take the
 // Quick defaults.
+//
+//rnuca:wire
 type FigureSpec struct {
 	// Corpora are the stored corpora the suite is built over.
 	Corpora []string `json:"corpora"`
@@ -142,6 +146,8 @@ type FigureSpec struct {
 // (which must live under the server's configured ingest directory)
 // into the corpus store (see internal/ingest for the field semantics;
 // zero values take the converter's defaults).
+//
+//rnuca:wire
 type ConvertSpec struct {
 	Inputs     []string `json:"inputs"`
 	Format     string   `json:"format,omitempty"`
@@ -187,6 +193,8 @@ func (c *ConvertSpec) ingestOptions() (ingest.Options, error) {
 
 // JobResult is a finished job's payload; which fields are set depends
 // on the kind.
+//
+//rnuca:wire
 type JobResult struct {
 	// Result is a single-design simulation's measured performance.
 	Result *rnuca.Result `json:"result,omitempty"`
@@ -205,6 +213,8 @@ type JobResult struct {
 // JobTrace is the GET /v1/jobs/{id}/trace payload: the job's buffered
 // spans in completion order, their per-stage aggregation, and how many
 // early spans the bounded ring discarded.
+//
+//rnuca:wire
 type JobTrace struct {
 	Job     string            `json:"job"`
 	Spans   []obs.SpanData    `json:"spans"`
@@ -213,6 +223,8 @@ type JobTrace struct {
 }
 
 // JobStatus is the API view of a job.
+//
+//rnuca:wire
 type JobStatus struct {
 	ID       string     `json:"id"`
 	Kind     string     `json:"kind"`
@@ -244,6 +256,7 @@ type job struct {
 
 	corpora []resolvedCorpus // figure jobs
 
+	//rnuca:ctx-ok the job IS the lifecycle: ctx is created at submit, canceled at Cancel/shutdown, and scopes the whole run
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -257,11 +270,11 @@ type job struct {
 	gauge rnuca.ProgressGauge
 
 	mu       sync.Mutex
-	state    JobState
-	started  time.Time
-	finished time.Time
-	err      string
-	result   *JobResult
+	state    JobState   // guarded by mu
+	started  time.Time  // guarded by mu
+	finished time.Time  // guarded by mu
+	err      string     // guarded by mu
+	result   *JobResult // guarded by mu
 }
 
 type resolvedCorpus struct {

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bufio"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStatusReadsDuringTransitions is the -race regression
+// companion to rnuca-vet's lockguard analyzer: it hammers every
+// mutex-guarded job/server read path (status polls, list, metrics
+// snapshot, SSE watchers) while workers drive jobs through their
+// state transitions. Run with -race, any unguarded access the static
+// heuristic waived or missed shows up here as a data race.
+func TestConcurrentStatusReadsDuringTransitions(t *testing.T) {
+	_, hs, _ := newTestServer(t, 2)
+
+	const jobs = 4
+	ids := make([]string, jobs)
+	for i := range ids {
+		ids[i] = postJob(t, hs.URL, `{"input":{"corpus":"oltp"},"designs":["P"]}`).ID
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Status pollers: the locked j.status() path.
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}
+		}(id)
+	}
+
+	// List + metrics scrapers: Server.mu and jobStats.mu read paths.
+	for _, path := range []string{"/v1/jobs", "/metrics"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(hs.URL + path)
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}
+		}(path)
+	}
+
+	// SSE watchers: the event stream reads job state concurrently with
+	// the worker writing transitions.
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/events")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+			}
+		}(id)
+	}
+
+	// Wait for every job to finish while the readers hammer away.
+	for _, id := range ids {
+		if fin := waitJob(t, hs.URL, id); fin.State != JobDone {
+			t.Fatalf("job %s finished %s: %s", id, fin.State, fin.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -62,14 +62,15 @@ type Server struct {
 	cfg   Config
 	cache *resultcache.Cache
 
+	//rnuca:ctx-ok server-lifetime root: every job ctx derives from it so Shutdown cancels the fleet
 	baseCtx context.Context
 	stop    context.CancelFunc
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string
-	queue    chan *job
-	draining bool
+	jobs     map[string]*job // guarded by mu
+	order    []string        // guarded by mu
+	queue    chan *job       // guarded by mu (the channel value; send/receive are inherently synchronized)
+	draining bool            // guarded by mu
 
 	wg sync.WaitGroup
 
@@ -90,9 +91,10 @@ type Server struct {
 // every affected number under one lock, so no scrape can observe a job
 // that has left "queued" but not yet arrived anywhere else.
 type jobStats struct {
-	mu                                               sync.Mutex
+	mu sync.Mutex
+	// guarded by mu
 	submitted, completed, failed, canceled, rejected uint64
-	queued, running                                  int64
+	queued, running                                  int64 // guarded by mu
 }
 
 // Metrics returns a consistent snapshot of the job-lifecycle counters
@@ -180,6 +182,7 @@ func New(cfg Config) *Server {
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = defaultJobHistory
 	}
+	//rnuca:ctx-ok the server's lifecycle root; New has no caller ctx and Shutdown owns cancellation
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -329,6 +332,7 @@ func (s *Server) Close() {
 // worker executes queued jobs until the queue closes.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	//rnuca:lock-ok channel receive synchronizes itself; the queue field is written once at New and closed under mu
 	for j := range s.queue {
 		s.runJob(j)
 	}

@@ -15,62 +15,64 @@ import (
 )
 
 // Config carries the Table 1 system parameters.
+//
+//rnuca:wire
 type Config struct {
-	Name  string
-	Cores int
-	GridW int
-	GridH int
+	Name  string `json:"Name"`
+	Cores int    `json:"Cores"`
+	GridW int    `json:"GridW"`
+	GridH int    `json:"GridH"`
 
 	// L2 NUCA slice parameters.
-	L2SliceBytes int
-	L2Ways       int
-	L2HitCycles  int
+	L2SliceBytes int `json:"L2SliceBytes"`
+	L2Ways       int `json:"L2Ways"`
+	L2HitCycles  int `json:"L2HitCycles"`
 
 	// L1 parameters (split I/D).
-	L1Bytes     int
-	L1Ways      int
-	L1HitCycles int
+	L1Bytes     int `json:"L1Bytes"`
+	L1Ways      int `json:"L1Ways"`
+	L1HitCycles int `json:"L1HitCycles"`
 
-	BlockBytes    int
-	VictimEntries int
-	MSHRs         int
+	BlockBytes    int `json:"BlockBytes"`
+	VictimEntries int `json:"VictimEntries"`
+	MSHRs         int `json:"MSHRs"`
 
 	// OS layer.
-	PageBytes  int
-	TLBEntries int
+	PageBytes  int `json:"PageBytes"`
+	TLBEntries int `json:"TLBEntries"`
 	// PageWalkCycles is charged on a TLB miss.
-	PageWalkCycles int
+	PageWalkCycles int `json:"PageWalkCycles"`
 	// PurgePerBlockCycles is charged per block invalidated during an
 	// R-NUCA page re-classification (the OS shootdown kernel thread).
-	PurgePerBlockCycles int
+	PurgePerBlockCycles int `json:"PurgePerBlockCycles"`
 	// PoisonCycles is charged when an access hits a poisoned page.
-	PoisonCycles int
+	PoisonCycles int `json:"PoisonCycles"`
 
 	// Memory.
-	MemAccessCycles int
+	MemAccessCycles int `json:"MemAccessCycles"`
 
 	// DirCycles is the directory-lookup occupancy charged at a home tile
 	// in addition to network traversal.
-	DirCycles int
+	DirCycles int `json:"DirCycles"`
 
 	// Interconnect.
-	Link noc.LinkConfig
+	Link noc.LinkConfig `json:"Link"`
 
 	// R-NUCA instruction cluster size (4 in the paper's configuration).
-	InstrClusterSize int
+	InstrClusterSize int `json:"InstrClusterSize"`
 
 	// Mesh switches the interconnect from the paper's 2-D folded torus to
 	// a 2-D mesh, for the §5.1 topology discussion ("meshes are prone to
 	// hot spots and penalize tiles at the network edges").
-	Mesh bool
+	Mesh bool `json:"Mesh"`
 
 	// LinkQueues selects the per-link FCFS contention model instead of
 	// the windowed analytic one (see noc.Network); higher fidelity,
 	// roughly double the simulation cost.
-	LinkQueues bool
+	LinkQueues bool `json:"LinkQueues"`
 
 	// WindowCycles sets the contention-model window length.
-	WindowCycles uint64
+	WindowCycles uint64 `json:"WindowCycles"`
 }
 
 // Config16 returns the 16-core server/scientific configuration from

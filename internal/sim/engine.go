@@ -31,30 +31,32 @@ type Classifier interface {
 }
 
 // Result carries everything a simulation run measured.
+//
+//rnuca:wire
 type Result struct {
-	Design       string
-	Workload     string
-	Instructions uint64
-	Refs         uint64
+	Design       string `json:"Design"`
+	Workload     string `json:"Workload"`
+	Instructions uint64 `json:"Instructions"`
+	Refs         uint64 `json:"Refs"`
 	// Cycles is the summed per-core cycle count over the measurement.
-	Cycles float64
+	Cycles float64 `json:"Cycles"`
 	// CPIStack[b] is cycles-per-instruction charged to bucket b.
-	CPIStack [NumBuckets]float64
+	CPIStack [NumBuckets]float64 `json:"CPIStack"`
 	// ClassCycles[class][bucket] restricts bucket cycles to loads and
 	// instruction fetches of each ground-truth class (Figures 8-10).
-	ClassCycles [4][NumBuckets]float64
+	ClassCycles [4][NumBuckets]float64 `json:"ClassCycles"`
 	// OffChipMisses counts memory accesses.
-	OffChipMisses uint64
+	OffChipMisses uint64 `json:"OffChipMisses"`
 	// Classification accuracy (§5.2), filled when the design classifies.
-	MixedPageAccesses     uint64
-	MisclassifiedAccesses uint64
-	ClassifiedAccesses    uint64
+	MixedPageAccesses     uint64 `json:"MixedPageAccesses"`
+	MisclassifiedAccesses uint64 `json:"MisclassifiedAccesses"`
+	ClassifiedAccesses    uint64 `json:"ClassifiedAccesses"`
 	// Interconnect traffic during the measurement.
-	NetMessages uint64
-	NetFlitHops uint64
+	NetMessages uint64 `json:"NetMessages"`
+	NetFlitHops uint64 `json:"NetFlitHops"`
 	// NetWaitCycles is the total time messages spent queued on busy links
 	// (only non-zero under the link-queue contention model).
-	NetWaitCycles float64
+	NetWaitCycles float64 `json:"NetWaitCycles"`
 }
 
 // CPI returns the total cycles per instruction.

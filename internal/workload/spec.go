@@ -43,61 +43,66 @@ func (c Category) String() string {
 	}
 }
 
-// Spec is the statistical description of one workload.
+// Spec is the statistical description of one workload. Its encoding is
+// part of the job canonical form (rnuca.Input embeds a Spec), so every
+// field carries an explicit tag repeating the frozen name —
+// testdata/job-canonical.json holds the bytes.
+//
+//rnuca:wire
 type Spec struct {
-	Name     string
-	Category Category
+	Name     string   `json:"Name"`
+	Category Category `json:"Category"`
 	// Cores is the CMP size the paper runs this workload on (16 for
 	// server/scientific, 8 for MIX).
-	Cores int
+	Cores int `json:"Cores"`
 
 	// L2 access mix, summing to 1 (Figure 3).
-	FracInstr    float64
-	FracPrivate  float64
-	FracSharedRW float64
-	FracSharedRO float64
+	FracInstr    float64 `json:"FracInstr"`
+	FracPrivate  float64 `json:"FracPrivate"`
+	FracSharedRW float64 `json:"FracSharedRW"`
+	FracSharedRO float64 `json:"FracSharedRO"`
 
 	// Footprints in bytes (Figure 4; the instruction curve for OLTP and
 	// Apache approaches a full 1MB slice, DSS scans are multi-gigabyte,
 	// MIX private data fills its 3MB slices).
-	InstrFootprint    int64
-	PrivatePerCore    int64
-	SharedFootprint   int64
-	SharedROFootprint int64
+	InstrFootprint    int64 `json:"InstrFootprint"`
+	PrivatePerCore    int64 `json:"PrivatePerCore"`
+	SharedFootprint   int64 `json:"SharedFootprint"`
+	SharedROFootprint int64 `json:"SharedROFootprint"`
 
 	// PrivateFootprints, when non-nil, gives each thread its own private
 	// footprint (length must equal Cores), modelling heterogeneous
 	// multi-programmed mixes whose threads have very different working
 	// sets — the scenario §4.4 motivates private-data clusters with.
 	// Incompatible with MigrationPeriod.
-	PrivateFootprints []int64
+	PrivateFootprints []int64 `json:"PrivateFootprints"`
 
 	// Zipf skews shaping the working-set CDFs (higher = hotter head).
-	InstrSkew   float64
-	PrivateSkew float64
-	SharedSkew  float64
+	InstrSkew   float64 `json:"InstrSkew"`
+	PrivateSkew float64 `json:"PrivateSkew"`
+	SharedSkew  float64 `json:"SharedSkew"`
 
 	// InstrBurst is the probability an instruction fetch re-references
 	// one of the core's recently fetched blocks instead of drawing fresh
 	// from the footprint. Zipf draws are memoryless; real instruction
 	// streams execute loops, so blocks see temporal bursts that keep the
 	// resident working set defended in the LRU. 0 disables bursts.
-	InstrBurst float64
+	InstrBurst float64 `json:"InstrBurst"`
 
 	// PrivateSeqFrac is the fraction of private accesses that stream
 	// sequentially (DSS table scans, em3d remote-edge walks).
-	PrivateSeqFrac float64
+	PrivateSeqFrac float64 `json:"PrivateSeqFrac"`
 
 	// SharedWriteFrac is the probability a shared-RW access is a store
 	// (shared data in servers is mostly read-write, Figure 2).
-	SharedWriteFrac float64
+	SharedWriteFrac float64 `json:"SharedWriteFrac"`
 	// PrivateWriteFrac is the store probability for private data.
-	PrivateWriteFrac float64
+	PrivateWriteFrac float64 `json:"PrivateWriteFrac"`
 
 	// NeighborSharing switches shared-RW data from universal sharing to
 	// producer-consumer ring pairs (em3d's two-sharer clusters in
 	// Figure 2b).
-	NeighborSharing bool
+	NeighborSharing bool `json:"NeighborSharing"`
 
 	// MixedHotPages is the number of pages at the hot end of the shared
 	// region that also hold a single core's private lines;
@@ -106,17 +111,17 @@ type Spec struct {
 	// accesses touch multi-class pages, yet under 0.75% of accesses get
 	// misclassified (the pages are dominated by their shared lines and
 	// classified shared).
-	MixedHotPages int
-	MixedPrivFrac float64
+	MixedHotPages int     `json:"MixedHotPages"`
+	MixedPrivFrac float64 `json:"MixedPrivFrac"`
 
 	// BusyPerRef is the mean number of busy (IPC-1) cycles between a
 	// core's L2 references: the workload's memory intensity.
-	BusyPerRef int
+	BusyPerRef int `json:"BusyPerRef"`
 
 	// OffChipMLP is the memory-level parallelism of off-chip misses
 	// (out-of-order cores overlap independent misses; scans overlap
 	// more).
-	OffChipMLP float64
+	OffChipMLP float64 `json:"OffChipMLP"`
 
 	// MigrationPeriod, when positive, rotates the thread-to-core
 	// assignment every MigrationPeriod references per core: thread
@@ -125,10 +130,10 @@ type Spec struct {
 	// owning thread moved, re-owns its private pages at the new core, and
 	// invalidates the old copies — without demoting the pages to shared.
 	// 0 disables migration (threads are pinned).
-	MigrationPeriod int
+	MigrationPeriod int `json:"MigrationPeriod"`
 
 	// Seed gives each workload its own deterministic stream family.
-	Seed uint64
+	Seed uint64 `json:"Seed"`
 }
 
 // Validate reports specification errors.

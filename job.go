@@ -388,6 +388,8 @@ func ctxErr(ctx context.Context) error {
 
 // jobJSON is the canonical encoding shape. Field order is fixed by
 // this declaration; testdata/job-canonical.json freezes it.
+//
+//rnuca:wire
 type jobJSON struct {
 	V       int            `json:"v"`
 	Input   Input          `json:"input"`
@@ -399,6 +401,8 @@ type jobJSON struct {
 // field order. Progress is excluded (observation cannot change
 // results); Batches is normalized so 0 and 1 — both "a single batch"
 // — share one encoding.
+//
+//rnuca:wire
 type jobOptionsJSON struct {
 	Warm               int         `json:"warm"`
 	Measure            int         `json:"measure"`

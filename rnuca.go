@@ -189,6 +189,7 @@ type runOpts struct {
 	// ctx carries the run's cancellation and any obs.Trace collecting
 	// per-stage spans; helpers instrument against it unconditionally
 	// (spans no-op without a trace).
+	//rnuca:ctx-ok runOpts is the run's internal plumbing record, built per call by lower() and dead when the run returns
 	ctx context.Context
 }
 
@@ -260,12 +261,14 @@ func gridFor(n int) (int, int) {
 type StageTiming = obs.StageTiming
 
 // Result is one design's measured performance on one workload.
+//
+//rnuca:wire
 type Result struct {
 	sim.Result
 	// CPIMean/CPICI are the batch statistics when Batches > 1
 	// (CPIMean equals Result.CPI() for single batches).
-	CPIMean float64
-	CPICI   float64
+	CPIMean float64 `json:"CPIMean"`
+	CPICI   float64 `json:"CPICI"`
 	// Timing is the per-stage wall-clock breakdown, populated only
 	// when the run's context carries an obs.Trace. It is diagnostic
 	// metadata, not measurement: it is excluded from the JSON encoding
@@ -707,6 +710,7 @@ type SpeedupCI struct {
 // batches. Batches defaults to 5 when the option is unset or 1 (a single
 // pair has no interval).
 func CompareCI(w Workload, a, b DesignID, ro RunOptions) SpeedupCI {
+	//rnuca:ctx-ok CompareCI is a ctx-less convenience entry point; cancelable comparisons go through the Job API
 	opt := ro.lower(context.Background()).withDefaults(w)
 	if opt.Batches < 2 {
 		opt.Batches = 5
