@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -120,6 +121,72 @@ func Compare(old, cur []BenchResult, threshold float64, gate *regexp.Regexp) []D
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Delta > out[j].Delta })
 	return out
+}
+
+// FullDelta is one row of the -compare table: a benchmark's
+// measurements in two trajectories. A benchmark absent on one side
+// still gets a row (InOld/InNew mark which).
+type FullDelta struct {
+	Name         string
+	InOld, InNew bool
+	Old, New     BenchResult
+}
+
+// NsDelta is the relative ns/op change, (new-old)/old.
+func (d FullDelta) NsDelta() float64 {
+	if !d.InOld || !d.InNew || d.Old.NsPerOp <= 0 {
+		return 0
+	}
+	return (d.New.NsPerOp - d.Old.NsPerOp) / d.Old.NsPerOp
+}
+
+// CompareAll joins two trajectories into the full delta table: one
+// row per benchmark present in either, sorted by name. Unlike
+// Compare, nothing is filtered — improvements, no-changes, and
+// added/removed benchmarks all appear.
+func CompareAll(old, cur []BenchResult) []FullDelta {
+	rows := map[string]*FullDelta{}
+	for _, r := range old {
+		rows[r.Name] = &FullDelta{Name: r.Name, InOld: true, Old: r}
+	}
+	for _, r := range cur {
+		d := rows[r.Name]
+		if d == nil {
+			d = &FullDelta{Name: r.Name}
+			rows[r.Name] = d
+		}
+		d.InNew = true
+		d.New = r
+	}
+	out := make([]FullDelta, 0, len(rows))
+	for _, d := range rows {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RenderDeltas writes the -compare table: ns/op on both sides with
+// the relative change, plus allocation deltas when either side
+// reported them.
+func RenderDeltas(w io.Writer, rows []FullDelta) {
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %14s %14s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs/op", "new allocs/op")
+	for _, d := range rows {
+		name := d.Name
+		switch {
+		case !d.InOld:
+			fmt.Fprintf(w, "%-44s %14s %14.1f %9s %14s %14.0f\n",
+				name, "-", d.New.NsPerOp, "new", "-", d.New.AllocsPerOp)
+		case !d.InNew:
+			fmt.Fprintf(w, "%-44s %14.1f %14s %9s %14.0f %14s\n",
+				name, d.Old.NsPerOp, "-", "removed", d.Old.AllocsPerOp, "-")
+		default:
+			fmt.Fprintf(w, "%-44s %14.1f %14.1f %+8.1f%% %14.0f %14.0f\n",
+				name, d.Old.NsPerOp, d.New.NsPerOp, 100*d.NsDelta(),
+				d.Old.AllocsPerOp, d.New.AllocsPerOp)
+		}
+	}
 }
 
 // streamParser reassembles benchmark result lines from test2json

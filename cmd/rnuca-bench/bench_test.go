@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -115,6 +116,76 @@ func TestBenchFileRoundTrip(t *testing.T) {
 	}
 	if _, err := loadBenchFile(path); err == nil {
 		t.Fatal("foreign schema must be rejected")
+	}
+}
+
+// CompareAll is the -compare table: one row per benchmark in either
+// trajectory, sorted by name, nothing filtered.
+func TestCompareAll(t *testing.T) {
+	old := []BenchResult{
+		{Name: "BenchmarkEngineRNUCA", NsPerOp: 1000, AllocsPerOp: 12},
+		{Name: "BenchmarkRemoved", NsPerOp: 500},
+	}
+	cur := []BenchResult{
+		{Name: "BenchmarkEngineRNUCA", NsPerOp: 1200, AllocsPerOp: 10},
+		{Name: "BenchmarkAdded", NsPerOp: 300},
+	}
+	rows := CompareAll(old, cur)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v, want 3", rows)
+	}
+	if rows[0].Name != "BenchmarkAdded" || rows[0].InOld || !rows[0].InNew {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	if rows[1].Name != "BenchmarkEngineRNUCA" || !rows[1].InOld || !rows[1].InNew {
+		t.Fatalf("rows[1] = %+v", rows[1])
+	}
+	if d := rows[1].NsDelta(); d < 0.19 || d > 0.21 {
+		t.Fatalf("NsDelta = %v, want ~0.20", d)
+	}
+	if rows[2].Name != "BenchmarkRemoved" || !rows[2].InOld || rows[2].InNew {
+		t.Fatalf("rows[2] = %+v", rows[2])
+	}
+	// One-sided rows report no delta rather than a fake ±100%.
+	if rows[0].NsDelta() != 0 || rows[2].NsDelta() != 0 {
+		t.Fatalf("one-sided deltas: added=%v removed=%v", rows[0].NsDelta(), rows[2].NsDelta())
+	}
+}
+
+func TestRenderDeltas(t *testing.T) {
+	rows := CompareAll(
+		[]BenchResult{
+			{Name: "BenchmarkEngineRNUCA", NsPerOp: 1000, AllocsPerOp: 12},
+			{Name: "BenchmarkRemoved", NsPerOp: 500, AllocsPerOp: 1},
+		},
+		[]BenchResult{
+			{Name: "BenchmarkEngineRNUCA", NsPerOp: 1200, AllocsPerOp: 10},
+			{Name: "BenchmarkAdded", NsPerOp: 300, AllocsPerOp: 2},
+		})
+	var buf strings.Builder
+	RenderDeltas(&buf, rows)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("output has %d lines, want header + 3 rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "benchmark") || !strings.Contains(lines[0], "delta") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, want := range []struct{ name, marker string }{
+		{"BenchmarkAdded", "new"},
+		{"BenchmarkEngineRNUCA", "+20.0%"},
+		{"BenchmarkRemoved", "removed"},
+	} {
+		found := false
+		for _, l := range lines[1:] {
+			if strings.Contains(l, want.name) && strings.Contains(l, want.marker) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no row with %q and %q in:\n%s", want.name, want.marker, out)
+		}
 	}
 }
 

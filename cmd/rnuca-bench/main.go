@@ -8,6 +8,7 @@
 //	rnuca-bench [-pkg rnuca] [-bench REGEXP] [-benchtime T] [-count N]
 //	            [-out BENCH_6.json] [-baseline FILE] [-threshold 0.15]
 //	            [-gate '^BenchmarkEngine'] [-dry JSONFILE]
+//	rnuca-bench -compare OLD.json NEW.json
 //
 // The tool shells out to `go test -run '^$' -bench REGEXP -benchmem
 // -json` and parses the test2json stream, so it needs the go toolchain
@@ -17,6 +18,11 @@
 // non-gated slowdowns are reported as warnings only. -dry skips the
 // benchmark run and loads current results from a JSON file instead
 // (testing the gate itself, or re-judging an archived run).
+//
+// -compare runs no benchmarks: it joins two archived trajectory files
+// into the full delta table — every benchmark in either file, with
+// ns/op and allocs/op on both sides and the relative change;
+// informational only, always exit 0.
 package main
 
 import (
@@ -40,7 +46,25 @@ func main() {
 	threshold := flag.Float64("threshold", 0.15, "relative ns/op increase tolerated before a gated benchmark fails")
 	gate := flag.String("gate", "^BenchmarkEngine", "regexp of benchmark names whose regressions fail the run")
 	dry := flag.String("dry", "", "load current results from this JSON file instead of running benchmarks")
+	compare := flag.Bool("compare", false, "compare two trajectory files (args: OLD.json NEW.json) and print the full delta table")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two arguments: OLD.json NEW.json")
+		}
+		old, err := loadBenchFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cur, err := loadBenchFile(flag.Arg(1))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s (%s) vs %s (%s)\n", flag.Arg(0), old.Go, flag.Arg(1), cur.Go)
+		RenderDeltas(os.Stdout, CompareAll(old.Bench, cur.Bench))
+		return
+	}
 
 	gateRe, err := regexp.Compile(*gate)
 	if err != nil {

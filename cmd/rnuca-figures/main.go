@@ -6,9 +6,17 @@
 //
 //	rnuca-figures [-exp all|table1|fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|classacc]
 //	              [-scale quick|full] [-csv] [-trace-out spans.json]
+//	              [-timeline FILE] [-epoch N]
 //
 // -trace-out collects the campaign's per-stage span trace
 // (internal/obs) over every selected experiment and writes it as JSON.
+// -timeline attaches the flight recorder to every simulation cell the
+// campaign runs and writes every recorded timeline (per-core CPI
+// sparklines, bank-pressure heatmap, classification churn, hottest
+// links) to FILE as text, one section per workload/design cell, in
+// deterministic key order; "-" writes to stdout. -epoch sets the
+// epoch length in measured refs (default 64Ki). Recording never
+// changes the tables.
 package main
 
 import (
@@ -16,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
+	"rnuca"
 	"rnuca/internal/experiments"
 	"rnuca/internal/obs"
 	"rnuca/internal/report"
@@ -28,6 +38,8 @@ func main() {
 	scale := flag.String("scale", "quick", "quick (seconds) or full (minutes, CI batches, best-of-six ASR)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := flag.String("trace-out", "", "write the campaign's per-stage span trace as JSON to this path")
+	timelineOut := flag.String("timeline", "", "record flight timelines for every cell and write them here (text; - for stdout)")
+	epoch := flag.Int("epoch", 0, "flight-recorder epoch length in measured refs (0 = default 64Ki)")
 	flag.Parse()
 
 	var s experiments.Scale
@@ -45,6 +57,9 @@ func main() {
 	if *traceOut != "" {
 		spans = obs.NewTrace(0)
 		c.SetContext(obs.ContextWithTrace(context.Background(), spans))
+	}
+	if *timelineOut != "" {
+		c.SetTimeline(&rnuca.TimelineConfig{Every: *epoch})
 	}
 
 	runners := map[string]func() []*report.Table{
@@ -101,4 +116,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *timelineOut != "" {
+		if err := writeCampaignTimelines(*timelineOut, c.Timelines()); err != nil {
+			fmt.Fprintf(os.Stderr, "rnuca-figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCampaignTimelines renders every recorded cell timeline, one
+// section per "workload/design" key in sorted order.
+func writeCampaignTimelines(path string, tls map[string]*rnuca.Timeline) error {
+	keys := make([]string, 0, len(tls))
+	for k := range tls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Fprintln(&buf)
+		}
+		report.RenderTimeline(&buf, k, tls[k])
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(&buf, "timeline: no epochs recorded")
+	}
+	if path == "-" {
+		_, err := os.Stdout.WriteString(buf.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
 }

@@ -7,11 +7,23 @@
 // Usage:
 //
 //	rnuca-serve [-addr :8091] [-corpus DIR] [-ingest DIR] [-workers N]
-//	            [-queue N] [-cache N] [-history N] [-drain 30s] [-pprof]
+//	            [-queue N] [-cache N] [-history N] [-drain 30s]
+//	            [-epoch N] [-log-level info] [-pprof]
 //
 // On SIGTERM or SIGINT the server stops accepting jobs, finishes what
 // is queued and running (up to -drain), and exits; a second signal
-// cancels running jobs and exits immediately.
+// cancels running jobs and exits immediately. /readyz turns 503 the
+// moment the drain begins (while /healthz stays 200), so a load
+// balancer stops routing to the terminating instance.
+//
+// Job-lifecycle events are logged as one key=value line each, every
+// line carrying the job's job_id, so `grep job_id=<id>` reconstructs
+// one job's story from a busy server's stream. -log-level gates
+// verbosity (debug, info, warn, error).
+//
+// -epoch sets the flight recorder's epoch length in measured
+// references (default 64Ki); every simulation cell records a
+// per-epoch timeline served at /v1/jobs/{id}/timeline.
 //
 // -pprof mounts net/http/pprof under /debug/pprof/ on the same
 // listener. It is off by default and should stay off on any address
@@ -42,6 +54,7 @@ import (
 	"time"
 
 	"rnuca/internal/corpus"
+	"rnuca/internal/obs/log"
 	"rnuca/internal/serve"
 )
 
@@ -54,8 +67,16 @@ func main() {
 	cache := flag.Int("cache", 0, "result-cache entries (0 = default)")
 	history := flag.Int("history", 0, "finished jobs retained for /v1/jobs (0 = default 512)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
+	epoch := flag.Int("epoch", 0, "flight-recorder epoch length in measured refs (0 = default 64Ki)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (do not enable on publicly reachable addresses)")
 	flag.Parse()
+
+	level, err := log.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	lg := log.New(os.Stderr, level)
 
 	var store *corpus.Store
 	if *corpusDir != "" {
@@ -71,7 +92,10 @@ func main() {
 		CacheEntries: *cache,
 		IngestDir:    *ingestDir,
 		JobHistory:   *history,
+		EpochRefs:    *epoch,
+		Logger:       lg,
 	})
+	lg.Instrument(s.Registry())
 	handler := s.Handler()
 	if *withPprof {
 		mux := http.NewServeMux()
@@ -94,17 +118,17 @@ func main() {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("rnuca-serve listening on %s (%d workers", *addr, w)
+	kv := []any{"addr", *addr, "workers", w}
 	if store != nil {
-		fmt.Printf(", corpus store %s", store.Root())
+		kv = append(kv, "corpus", store.Root())
 	}
-	fmt.Println(")")
+	lg.Info("rnuca-serve listening", kv...)
 
 	select {
 	case err := <-serveErr:
 		fatalf("serve: %v", err)
 	case sig := <-sigs:
-		fmt.Printf("rnuca-serve: %v, draining (budget %s; signal again to force)\n", sig, *drain)
+		lg.Info("draining", "signal", sig.String(), "budget", *drain)
 	}
 
 	// Drain: stop accepting (both at the listener and the job queue),
@@ -115,21 +139,21 @@ func main() {
 	go func() {
 		select {
 		case <-sigs:
-			fmt.Println("rnuca-serve: forcing shutdown")
+			lg.Warn("forcing shutdown")
 			cancel()
 		case <-ctx.Done():
 		}
 	}()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "rnuca-serve: http shutdown: %v\n", err)
+		lg.Error("http shutdown", "err", err)
 	}
 	if err := s.Drain(ctx); err != nil {
-		fmt.Println("rnuca-serve: drain budget exhausted, canceling running jobs")
+		lg.Error("drain budget exhausted, canceling running jobs")
 		s.Close()
 		os.Exit(1)
 	}
 	s.Close()
-	fmt.Println("rnuca-serve: drained cleanly")
+	lg.Info("drained cleanly")
 }
 
 func fatalf(format string, args ...interface{}) {

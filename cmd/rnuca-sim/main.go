@@ -5,6 +5,7 @@
 //
 //	rnuca-sim -workload OLTP-DB2 -design R [-warm N] [-measure N]
 //	          [-clusters 4] [-batches 1] [-trace-out spans.json]
+//	          [-timeline FILE] [-epoch N]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // SIGINT (Ctrl-C) cancels the simulation cooperatively: the engine
@@ -13,6 +14,13 @@
 // span trace (internal/obs) as JSON and prints the timing breakdown;
 // -cpuprofile and -memprofile write runtime/pprof profiles for the
 // whole run.
+//
+// -timeline records a flight-recorder timeline (per-core CPI, bank
+// pressure, classification churn, link utilization per epoch of
+// -epoch measured refs) and writes it to FILE — rendered text, or the
+// raw timeline JSON when FILE ends in .json. "-" renders to stdout.
+// Recording is pure observation: the measured result is bit-identical
+// with or without it.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"rnuca"
 	"rnuca/internal/obs"
+	"rnuca/internal/report"
 	"rnuca/internal/sim"
 	"rnuca/internal/workload"
 )
@@ -50,6 +59,8 @@ func run() int {
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	list := flag.Bool("list", false, "list workloads and exit")
 	traceOut := flag.String("trace-out", "", "write the run's per-stage span trace as JSON to this path")
+	timelineOut := flag.String("timeline", "", "record a flight timeline and write it here (text; .json for raw JSON; - for stdout)")
+	epoch := flag.Int("epoch", 0, "flight-recorder epoch length in measured refs (0 = default 64Ki)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -116,6 +127,9 @@ func run() int {
 			Progress:         gauge.Observe,
 		},
 	}
+	if *timelineOut != "" {
+		job.Options.Timeline = &rnuca.TimelineConfig{Every: *epoch}
+	}
 	id := job.Designs[0]
 
 	r, err := job.Run(ctx)
@@ -126,6 +140,13 @@ func run() int {
 	}
 	if spans != nil {
 		if werr := obs.WriteTraceFile(*traceOut, spans); werr != nil {
+			fmt.Fprintf(os.Stderr, "rnuca-sim: %v\n", werr)
+			return 1
+		}
+	}
+	if *timelineOut != "" {
+		label := fmt.Sprintf("%s/%s", w.Name, id)
+		if werr := report.WriteTimelineFile(*timelineOut, label, r.Timeline); werr != nil {
 			fmt.Fprintf(os.Stderr, "rnuca-sim: %v\n", werr)
 			return 1
 		}

@@ -17,7 +17,7 @@
 //	rnuca-trace index [-upgrade OUT] [-stats] trace.rnt
 //	rnuca-trace replay [-design R | -design P,A,S,R,I | -design all]
 //	            [-warm N] [-measure N] [-batches B] [-shards N]
-//	            [-window START:N] trace.rnt
+//	            [-window START:N] [-timeline FILE] [-epoch N] trace.rnt
 //	rnuca-trace corpus add|ls|verify|rm|gc -dir STORE ...
 //
 // record runs a workload through a design once and tees the consumed
@@ -42,7 +42,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,6 +61,7 @@ import (
 	"rnuca"
 	"rnuca/internal/ingest"
 	"rnuca/internal/obs"
+	"rnuca/internal/report"
 	"rnuca/internal/tracefile"
 	"rnuca/internal/workload"
 )
@@ -94,7 +97,7 @@ func usage() {
               [-workload NAME] -o FILE INPUT...
   rnuca-trace info FILE
   rnuca-trace index [-upgrade OUT] [-stats] FILE
-  rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] [-shards N] [-window START:N] FILE
+  rnuca-trace replay [-design IDS|all] [-warm N] [-measure N] [-batches B] [-shards N] [-window START:N] [-timeline FILE] [-epoch N] FILE
   rnuca-trace corpus add -dir STORE [-name NAME] FILE...
   rnuca-trace corpus ls -dir STORE
   rnuca-trace corpus verify -dir STORE [REF...]
@@ -611,6 +614,8 @@ func replay(args []string) {
 	shards := fs.Int("shards", 0, "parallel trace-decode workers per engine (0 = one per CPU, 1 = sequential; needs a v2 indexed trace)")
 	window := fs.String("window", "", "replay only records START:N of the trace (needs a v2 indexed trace)")
 	traceOut := fs.String("trace-out", "", "write the replay's per-stage span trace as JSON to this path")
+	timelineOut := fs.String("timeline", "", "record per-design flight timelines and write them here (text; .json for raw JSON; - for stdout)")
+	epoch := fs.Int("epoch", 0, "flight-recorder epoch length in measured refs (0 = default 64Ki)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -673,6 +678,9 @@ func replay(args []string) {
 			Progress: gauge.Observe,
 		},
 	}
+	if *timelineOut != "" {
+		job.Options.Timeline = &rnuca.TimelineConfig{Every: *epoch}
+	}
 	results, err := job.Compare(ctx)
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
@@ -708,7 +716,43 @@ func replay(args []string) {
 			fmt.Printf("  %-14s %9.4fs x%d\n", st.Stage, st.Seconds, st.Count)
 		}
 	}
+	if *timelineOut != "" {
+		if err := writeReplayTimelines(*timelineOut, hdr.Workload, ids, results); err != nil {
+			fatalf("replay: %v", err)
+		}
+	}
 	if interrupted {
 		os.Exit(130)
 	}
+}
+
+// writeReplayTimelines writes every replayed design's flight timeline:
+// rendered text (one section per design) by default, a design-keyed
+// JSON object when path ends in ".json", stdout when path is "-".
+func writeReplayTimelines(path, workload string, ids []rnuca.DesignID, results map[rnuca.DesignID]rnuca.Result) error {
+	if strings.HasSuffix(path, ".json") {
+		byID := make(map[string]*rnuca.Timeline, len(ids))
+		for _, id := range ids {
+			byID[string(id)] = results[id].Timeline
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(byID); err != nil {
+			return err
+		}
+		return os.WriteFile(path, buf.Bytes(), 0o644)
+	}
+	var buf bytes.Buffer
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Fprintln(&buf)
+		}
+		report.RenderTimeline(&buf, fmt.Sprintf("%s/%s", workload, id), results[id].Timeline)
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

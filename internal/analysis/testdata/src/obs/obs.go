@@ -33,6 +33,14 @@ func register(reg *Registry, suffix string) {
 	reg.Histogram("rnuca_job_wait_seconds", "Wait time.", ExpBuckets(0.01, 2, 10))
 	reg.HistogramVec("rnuca_blob_size_bytes", "Blob sizes.", ExpBuckets(1, 4, 8), "kind")
 
+	// Good: the flight-recorder and logger families.
+	reg.Counter("rnuca_flight_epochs_total", "Flight epochs closed.")
+	reg.Gauge("rnuca_flight_ring_scale", "Epochs per ring entry.")
+	reg.CounterVec("rnuca_log_lines_total", "Log lines emitted.", "level")
+
+	// Bad: flight counter without _total.
+	reg.Counter("rnuca_flight_epochs", "Suffixless flight counter.") // want `obs-name-format`
+
 	// Bad: computed name.
 	reg.Counter("rnuca_jobs_"+suffix, "Computed.") // want `obs-name-literal`
 

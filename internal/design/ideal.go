@@ -73,3 +73,6 @@ func (d *Ideal) Reset() { d.sl = newSlices(d.ch.Cfg) }
 
 // SliceStats exposes per-slice statistics.
 func (d *Ideal) SliceStats(tile int) cache.Stats { return d.sl.l2[tile].Stats() }
+
+// BankAccesses implements sim.BankMeter.
+func (d *Ideal) BankAccesses() []uint64 { return d.sl.bankAccesses() }

@@ -200,3 +200,7 @@ func (d *Private) SliceOccupancy(tile noc.TileID) int { return d.sl.l2[tile].Lin
 
 // SliceStats exposes per-slice statistics.
 func (d *Private) SliceStats(tile noc.TileID) cache.Stats { return d.sl.l2[tile].Stats() }
+
+// BankAccesses implements sim.BankMeter. ASR and PrivateBroadcast
+// inherit it by embedding.
+func (d *Private) BankAccesses() []uint64 { return d.sl.bankAccesses() }

@@ -285,6 +285,13 @@ func (d *Reactive) SliceOccupancy(tile noc.TileID) int { return d.sl.l2[tile].Li
 // SliceStats exposes per-slice statistics.
 func (d *Reactive) SliceStats(tile noc.TileID) cache.Stats { return d.sl.l2[tile].Stats() }
 
+// BankAccesses implements sim.BankMeter.
+func (d *Reactive) BankAccesses() []uint64 { return d.sl.bankAccesses() }
+
+// OSTransitions implements sim.TransitionMeter: cumulative OS-page
+// classification counters, flattened for the flight recorder.
+func (d *Reactive) OSTransitions() ospage.Transitions { return d.os.Table.Transitions() }
+
 // ForEachLine visits every resident line of one slice, reporting its block
 // address and class — the hook the end-to-end placement audits use.
 func (d *Reactive) ForEachLine(tile int, fn func(addr uint64, class cache.Class)) {

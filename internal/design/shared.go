@@ -18,6 +18,17 @@ type slices struct {
 	victim []*cache.VictimCache
 }
 
+// bankAccesses snapshots cumulative per-slice (bank) L2 access counts
+// — hits plus misses, tile order — for the flight recorder.
+func (s slices) bankAccesses() []uint64 {
+	out := make([]uint64, len(s.l2))
+	for i, c := range s.l2 {
+		st := c.Stats()
+		out[i] = st.Hits + st.Misses
+	}
+	return out
+}
+
 func newSlices(cfg sim.Config) slices {
 	geom := cache.Geometry{SizeBytes: cfg.L2SliceBytes, Ways: cfg.L2Ways, BlockBytes: cfg.BlockBytes}
 	var s slices
@@ -136,3 +147,6 @@ func (d *Shared) SliceOccupancy(tile noc.TileID) int { return d.sl.l2[tile].Line
 
 // SliceStats exposes per-slice cache statistics.
 func (d *Shared) SliceStats(tile noc.TileID) cache.Stats { return d.sl.l2[tile].Stats() }
+
+// BankAccesses implements sim.BankMeter.
+func (d *Shared) BankAccesses() []uint64 { return d.sl.bankAccesses() }

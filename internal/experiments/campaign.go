@@ -60,6 +60,8 @@ type Campaign struct {
 	//rnuca:ctx-ok campaign-lifetime cancellation root, set once by SetContext before any run
 	runCtx context.Context      // cancellation path, optional
 	gauge  *rnuca.ProgressGauge // per-cell observation gauge, optional
+	tlCfg  *rnuca.TimelineConfig
+	tl     map[string]*rnuca.Timeline // "workload/design" -> cell timeline
 }
 
 // NewCampaign builds an empty campaign at the given scale.
@@ -128,6 +130,30 @@ func (c *Campaign) ctx() context.Context {
 	return context.Background()
 }
 
+// SetTimeline attaches a flight-recorder config: every simulation
+// cell the campaign runs records a per-epoch timeline, retrievable by
+// "workload/design" key from Timelines. Pure observation, like
+// SetProgress — results and cache keys are untouched. Cells answered
+// from a shared result cache carry the timeline their original
+// execution recorded.
+func (c *Campaign) SetTimeline(cfg *rnuca.TimelineConfig) { c.tlCfg = cfg }
+
+// Timelines returns the flight timelines recorded so far, keyed
+// "workload/design". Nil-valued entries never appear; the map is
+// shared, not copied.
+func (c *Campaign) Timelines() map[string]*rnuca.Timeline { return c.tl }
+
+// saveTimeline stores a finished cell's timeline under its key.
+func (c *Campaign) saveTimeline(workloadName, designKey string, t *rnuca.Timeline) {
+	if t == nil {
+		return
+	}
+	if c.tl == nil {
+		c.tl = map[string]*rnuca.Timeline{}
+	}
+	c.tl[workloadName+"/"+designKey] = t
+}
+
 // SetResultCache attaches a shared memoized result cache (see
 // internal/resultcache): every simulation the campaign runs is keyed by
 // its cell's canonical job encoding and consulted there before running,
@@ -155,6 +181,7 @@ func (c *Campaign) cellJob(in rnuca.Input, opt rnuca.RunOptions, ids ...rnuca.De
 	if c.gauge != nil {
 		j.Options.Progress = c.gauge.Observe
 	}
+	j.Options.Timeline = c.tlCfg
 	return j
 }
 
@@ -190,6 +217,7 @@ func (c *Campaign) cached(workloadName, designKey string, keyJob rnuca.Job, run 
 		if err != nil {
 			fail(err)
 		}
+		c.saveTimeline(workloadName, designKey, r.Timeline)
 		return r
 	}
 	v, _, err := c.rcache.Do(c.ctx(), key, func(fctx context.Context) (any, error) {
@@ -208,7 +236,9 @@ func (c *Campaign) cached(workloadName, designKey string, keyJob rnuca.Job, run 
 	if err != nil {
 		fail(err)
 	}
-	return v.(rnuca.Result)
+	r := v.(rnuca.Result)
+	c.saveTimeline(workloadName, designKey, r.Timeline)
+	return r
 }
 
 func (c *Campaign) opts() rnuca.RunOptions {

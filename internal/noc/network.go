@@ -77,6 +77,15 @@ type Network struct {
 	// perLink traffic for hot-spot analysis (lazily allocated).
 	perLink map[Link]uint64
 
+	// Hot-path per-link accounting for the flight recorder: flit counts
+	// kept in first-traversal order so snapshots iterate deterministically
+	// (no map-order dependence). Opt-in; the accounting only reads the
+	// route and can never affect charged latency.
+	linkAcct  bool
+	acctIndex map[Link]int
+	acctLinks []Link
+	acctFlits []uint64
+
 	// Link-queue model state.
 	queueModel bool
 	now        float64
@@ -128,6 +137,9 @@ func (n *Network) Latency(src, dst TileID, bytes int) float64 {
 	flits := n.cfg.Flits(bytes)
 	n.flitHops += uint64(flits * hops)
 	n.messages++
+	if n.linkAcct {
+		n.recordLinkFlits(src, dst, uint64(flits))
+	}
 	if n.queueModel {
 		return n.traverseQueued(src, dst, flits)
 	}
@@ -183,6 +195,42 @@ func (n *Network) RecordRoute(src, dst TileID, bytes int) {
 
 // LinkLoads returns the per-link flit counts recorded by RecordRoute.
 func (n *Network) LinkLoads() map[Link]uint64 { return n.perLink }
+
+// String renders a directed link as "from>to" for timeline labels.
+func (l Link) String() string { return fmt.Sprintf("%d>%d", l.From, l.To) }
+
+// EnableLinkAccounting turns on per-link flit accounting on the Latency
+// hot path, keyed in first-traversal order for deterministic snapshots.
+// The accounting walks the dimension-order route but feeds nothing back
+// into charged latency, so enabling it cannot perturb timing.
+func (n *Network) EnableLinkAccounting() {
+	n.linkAcct = true
+	if n.acctIndex == nil {
+		n.acctIndex = make(map[Link]int)
+	}
+}
+
+// LinkAccountingEnabled reports whether EnableLinkAccounting was called.
+func (n *Network) LinkAccountingEnabled() bool { return n.linkAcct }
+
+func (n *Network) recordLinkFlits(src, dst TileID, flits uint64) {
+	for _, l := range n.topo.Route(src, dst) {
+		i, ok := n.acctIndex[l]
+		if !ok {
+			i = len(n.acctLinks)
+			n.acctIndex[l] = i
+			n.acctLinks = append(n.acctLinks, l)
+			n.acctFlits = append(n.acctFlits, 0)
+		}
+		n.acctFlits[i] += flits
+	}
+}
+
+// LinkTraffic returns the accounted links in first-traversal order and
+// their cumulative flit counts. The returned slices are copies.
+func (n *Network) LinkTraffic() ([]Link, []uint64) {
+	return append([]Link(nil), n.acctLinks...), append([]uint64(nil), n.acctFlits...)
+}
 
 // Advance closes the current traffic window after the given number of
 // elapsed cycles, recomputes the contention penalty for the next window,
@@ -275,6 +323,10 @@ func (n *Network) Reset() {
 	n.totalFlitHops, n.totalMessages, n.totalCycles = 0, 0, 0
 	n.queuePenalty = 0
 	n.perLink = nil
+	if n.linkAcct {
+		n.acctIndex = make(map[Link]int)
+		n.acctLinks, n.acctFlits = nil, nil
+	}
 	n.now, n.waitCycles = 0, 0
 	if n.queueModel {
 		n.nextFree = make(map[Link]float64)

@@ -1,0 +1,34 @@
+// Package flight is the simulator's flight recorder: a deterministic,
+// zero-perturbation timeline of per-epoch simulation state.
+//
+// # Contract
+//
+// The engine drives the recorder at a fixed epoch boundary — every
+// Config.Every *measured* references (default 64Ki) — by handing it a
+// cumulative Sample of counters it was accumulating anyway. Like the
+// engine's Progress hook, the recorder observes the simulation and can
+// never steer it: nothing the recorder computes feeds back into timing,
+// placement, or Result counters, so a run with the recorder enabled is
+// bit-identical to one without it, and two identical runs produce
+// byte-identical timelines.
+//
+// # Epochs
+//
+// Each stored Epoch is the delta between two consecutive cumulative
+// Samples: per-core cycles and instructions (CPI), per-class accesses
+// and off-chip misses, OS-page classification transitions, per-bank
+// (L2 slice) access pressure, and per-NoC-link flit counts. Epochs are
+// appended to a bounded ring; when the ring would exceed Config.Cap,
+// adjacent epochs are merged 2→1 (sums; ref ranges concatenate) and the
+// epoch granularity doubles, so memory stays O(Cap) regardless of run
+// length. The merge is pure integer arithmetic over deterministic
+// counters, so downsampling is itself deterministic.
+//
+// # Wiring
+//
+// The engine owns the only goroutine that touches a Recorder during a
+// run; Timeline() is called after Run returns. Config.OnEpoch, when
+// set, is invoked synchronously at each base-epoch boundary (before any
+// downsampling) so a serving layer can stream live epoch samples; the
+// callback must do its own locking if it publishes the epoch elsewhere.
+package flight

@@ -1,0 +1,236 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// synthSample builds a deterministic cumulative sample for base epoch
+// n (1-based): every counter is a simple monotone function of n, so
+// deltas are predictable.
+func synthSample(n int) Sample {
+	u := uint64(n)
+	s := Sample{
+		Refs:       u * 100,
+		CoreCycles: []float64{float64(u) * 10, float64(u) * 20},
+		CoreInstrs: []uint64{u * 50, u * 40},
+		Transitions: Transitions{
+			FirstTouches:    u * 3,
+			PrivateToShared: u,
+			Migrations:      u * 2,
+			TLBShootdowns:   u * 4,
+		},
+		BankAccesses: []uint64{u * 7, u * 9},
+		LinkFlits:    []uint64{u * 5},
+	}
+	for c := 0; c < NumClasses; c++ {
+		s.ClassAccesses[c] = u * uint64(c+1)
+		s.ClassMisses[c] = u * uint64(c)
+	}
+	return s
+}
+
+func TestRecorderDeltaEncoding(t *testing.T) {
+	r := NewRecorder(Config{Every: 100, Cap: 16})
+	for n := 1; n <= 3; n++ {
+		r.Observe(synthSample(n))
+	}
+	tl := r.Timeline()
+	if tl.BaseEpochs != 3 || len(tl.Epochs) != 3 || tl.Scale != 1 {
+		t.Fatalf("got %d base epochs, %d stored, scale %d", tl.BaseEpochs, len(tl.Epochs), tl.Scale)
+	}
+	for i, e := range tl.Epochs {
+		if e.Index != i || e.Epochs != 1 {
+			t.Errorf("epoch %d: index %d epochs %d", i, e.Index, e.Epochs)
+		}
+		if e.StartRef != uint64(i)*100 || e.EndRef != uint64(i+1)*100 {
+			t.Errorf("epoch %d: range [%d,%d)", i, e.StartRef, e.EndRef)
+		}
+		// Every delta of the synthetic monotone counters is constant.
+		if e.CoreCycles[0] != 10 || e.CoreCycles[1] != 20 {
+			t.Errorf("epoch %d: core cycles %v", i, e.CoreCycles)
+		}
+		if e.CoreInstrs[0] != 50 || e.CoreInstrs[1] != 40 {
+			t.Errorf("epoch %d: core instrs %v", i, e.CoreInstrs)
+		}
+		if e.Transitions.Migrations != 2 || e.Transitions.TLBShootdowns != 4 {
+			t.Errorf("epoch %d: transitions %+v", i, e.Transitions)
+		}
+		if e.BankAccesses[0] != 7 || e.BankAccesses[1] != 9 {
+			t.Errorf("epoch %d: banks %v", i, e.BankAccesses)
+		}
+		if e.LinkFlits[0] != 5 {
+			t.Errorf("epoch %d: links %v", i, e.LinkFlits)
+		}
+		if e.ClassAccesses != [NumClasses]uint64{1, 2, 3, 4} {
+			t.Errorf("epoch %d: class accesses %v", i, e.ClassAccesses)
+		}
+	}
+	if e := tl.Epochs[0]; e.CPI(0) != 10.0/50 || e.CPI(1) != 20.0/40 {
+		t.Errorf("CPI = %v, %v", e.CPI(0), e.CPI(1))
+	}
+}
+
+func TestRecorderBaselineExcludesWarmup(t *testing.T) {
+	r := NewRecorder(Config{Every: 100})
+	warm := Sample{Refs: 0, BankAccesses: []uint64{1000, 1000}, LinkFlits: []uint64{500}}
+	warm.Transitions.FirstTouches = 77
+	r.Baseline(warm)
+	s := synthSample(1)
+	s.BankAccesses = []uint64{1007, 1009}
+	s.LinkFlits = []uint64{505}
+	s.Transitions.FirstTouches = 80
+	r.Observe(s)
+	e := r.Timeline().Epochs[0]
+	if e.BankAccesses[0] != 7 || e.BankAccesses[1] != 9 {
+		t.Errorf("warmup bank accesses leaked into epoch 0: %v", e.BankAccesses)
+	}
+	if e.LinkFlits[0] != 5 {
+		t.Errorf("warmup link flits leaked into epoch 0: %v", e.LinkFlits)
+	}
+	if e.Transitions.FirstTouches != 3 {
+		t.Errorf("warmup transitions leaked into epoch 0: %+v", e.Transitions)
+	}
+}
+
+func TestRecorderZeroAdvanceFlushIgnored(t *testing.T) {
+	r := NewRecorder(Config{Every: 100})
+	r.Observe(synthSample(1))
+	r.Observe(synthSample(1)) // end-of-run flush on the boundary
+	if got := r.Timeline(); len(got.Epochs) != 1 {
+		t.Fatalf("flush on boundary added an epoch: %d", len(got.Epochs))
+	}
+}
+
+func TestRecorderDownsampleBoundedAndLossless(t *testing.T) {
+	const n, cap = 1000, 16
+	r := NewRecorder(Config{Every: 100, Cap: cap})
+	for i := 1; i <= n; i++ {
+		r.Observe(synthSample(i))
+	}
+	tl := r.Timeline()
+	if len(tl.Epochs) > cap {
+		t.Fatalf("%d stored epochs exceed cap %d", len(tl.Epochs), cap)
+	}
+	if tl.BaseEpochs != n {
+		t.Fatalf("base epochs %d, want %d", tl.BaseEpochs, n)
+	}
+	// Downsampling merges, never drops: totals and ranges are exact.
+	var base int
+	var refs, instrs, migrations uint64
+	prevEnd := uint64(0)
+	for i, e := range tl.Epochs {
+		if e.StartRef != prevEnd {
+			t.Fatalf("epoch %d not contiguous: starts %d after %d", i, e.StartRef, prevEnd)
+		}
+		prevEnd = e.EndRef
+		base += e.Epochs
+		refs += e.Refs()
+		instrs += e.CoreInstrs[0]
+		migrations += e.Transitions.Migrations
+	}
+	if base != n || refs != n*100 || instrs != n*50 || migrations != n*2 {
+		t.Errorf("merged totals: base %d refs %d instrs %d migrations %d", base, refs, instrs, migrations)
+	}
+	if tl.Scale < 2 {
+		t.Errorf("scale %d after overflow, want >= 2", tl.Scale)
+	}
+}
+
+func TestRecorderDownsampleDeterministic(t *testing.T) {
+	run := func() []byte {
+		r := NewRecorder(Config{Every: 100, Cap: 8})
+		for i := 1; i <= 333; i++ {
+			r.Observe(synthSample(i))
+		}
+		r.SetLinks([]string{"0>1"})
+		b, err := json.Marshal(r.Timeline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatal("identical recordings marshal differently")
+	}
+}
+
+func TestRecorderOnEpochSeesEveryBaseEpoch(t *testing.T) {
+	var seen []int
+	r := NewRecorder(Config{Every: 100, Cap: 2, OnEpoch: func(e Epoch) {
+		if e.Epochs != 1 {
+			t.Errorf("live epoch %d already merged (%d)", e.Index, e.Epochs)
+		}
+		seen = append(seen, e.Index)
+	}})
+	for i := 1; i <= 10; i++ {
+		r.Observe(synthSample(i))
+	}
+	if len(seen) != 10 {
+		t.Fatalf("observer saw %d epochs, want 10: %v", len(seen), seen)
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("observer order: %v", seen)
+		}
+	}
+}
+
+func TestRecorderRaggedLinkLanes(t *testing.T) {
+	r := NewRecorder(Config{Every: 100, Cap: 2})
+	s1 := synthSample(1)
+	s1.LinkFlits = []uint64{5}
+	r.Observe(s1)
+	s2 := synthSample(2)
+	s2.LinkFlits = []uint64{12, 30} // lane 1 appears in epoch 2
+	r.Observe(s2)
+	s3 := synthSample(3)
+	s3.LinkFlits = []uint64{20, 45}
+	r.Observe(s3) // overflows cap 2: epochs 1+2 merge
+	tl := r.Timeline()
+	if len(tl.Epochs) != 2 {
+		t.Fatalf("stored %d epochs, want 2", len(tl.Epochs))
+	}
+	// Merged epoch: lane 0 = 5+7, lane 1 = 0+30 (absent lane is zero).
+	if got := tl.Epochs[0].LinkFlits; len(got) != 2 || got[0] != 12 || got[1] != 30 {
+		t.Errorf("merged link lanes = %v, want [12 30]", got)
+	}
+	if got := tl.Epochs[1].LinkFlits; got[0] != 8 || got[1] != 15 {
+		t.Errorf("epoch 3 link lanes = %v, want [8 15]", got)
+	}
+}
+
+func TestTimelineSnapshotIsolated(t *testing.T) {
+	r := NewRecorder(Config{Every: 100})
+	r.Observe(synthSample(1))
+	tl := r.Timeline()
+	tl.Epochs[0].CoreCycles[0] = -1
+	tl.Epochs[0].BankAccesses[0] = 999
+	if got := r.Timeline().Epochs[0]; got.CoreCycles[0] != 10 || got.BankAccesses[0] != 7 {
+		t.Error("Timeline snapshot shares state with the recorder")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	r := NewRecorder(Config{})
+	if r.Every() != DefaultEvery {
+		t.Errorf("default every = %d", r.Every())
+	}
+	r = NewRecorder(Config{Every: 10, Cap: 1})
+	for i := 1; i <= 50; i++ {
+		r.Observe(synthSample(i))
+	}
+	if n := len(r.Timeline().Epochs); n > 2 {
+		t.Errorf("cap 1 clamps to 2, stored %d", n)
+	}
+}
+
+func BenchmarkRecorderObserve(b *testing.B) {
+	r := NewRecorder(Config{Every: 100, Cap: 256})
+	for i := 0; i < b.N; i++ {
+		r.Observe(synthSample(i + 1))
+	}
+	_ = fmt.Sprint(len(r.Timeline().Epochs))
+}

@@ -1,0 +1,198 @@
+// Package log is a small structured, leveled logger emitting
+// logfmt-style key=value lines. Its purpose in this repo is job
+// correlation: a Logger carries bound fields (notably job_id), so every
+// line the serving layer writes about a job is joinable with the job's
+// trace spans, timeline epochs, and metrics on the same key.
+//
+//	lg := log.New(os.Stderr, log.LevelInfo)
+//	jl := lg.With("job_id", id, "kind", spec.Kind)
+//	jl.Info("job started")
+//	// ts=… level=info msg="job started" job_id=j4f00ba1 kind=sim
+//
+// A nil *Logger is valid and discards everything, so components can
+// accept an optional logger without nil checks at every call site.
+package log
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnuca/internal/obs"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severities, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel resolves a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("log: unknown level %q", s)
+}
+
+// shared is the sink state every Logger derived from one New call
+// shares: the writer, its mutex, the level gate, and the optional
+// per-level line counters.
+type shared struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   atomic.Int32
+	lines [4]*obs.Counter // indexed by Level; nil until Instrument
+	clock func() time.Time
+}
+
+// Logger writes key=value lines at or above its minimum level. Derive
+// field-bound children with With; all derived loggers share one writer
+// lock, level gate, and metric counters.
+type Logger struct {
+	s      *shared
+	fields string // pre-rendered " k=v k=v" suffix
+}
+
+// New builds a Logger writing to w at minimum level min.
+func New(w io.Writer, min Level) *Logger {
+	s := &shared{w: w, clock: time.Now}
+	s.min.Store(int32(min))
+	return &Logger{s: s}
+}
+
+// SetLevel changes the minimum level for this logger and everything
+// derived from the same New call. Safe for concurrent use.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.s.min.Store(int32(min))
+	}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (l *Logger) SetClock(fn func() time.Time) {
+	if l != nil {
+		l.s.clock = fn
+	}
+}
+
+// Instrument registers rnuca_log_lines_total{level} on reg and counts
+// every emitted (not suppressed) line. Call once, before logging.
+func (l *Logger) Instrument(reg *obs.Registry) {
+	if l == nil {
+		return
+	}
+	v := reg.CounterVec("rnuca_log_lines_total", "Log lines emitted, by level.", "level")
+	for lv := LevelDebug; lv <= LevelError; lv++ {
+		l.s.lines[lv] = v.With(lv.String())
+	}
+}
+
+// With returns a child logger with additional bound key/value pairs,
+// rendered on every line after msg. kv alternates keys and values;
+// values are formatted with %v. An odd trailing key gets "(missing)".
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	return &Logger{s: l.s, fields: l.fields + renderPairs(kv)}
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if l == nil || int32(lv) < l.s.min.Load() {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.s.clock().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	b.WriteString(l.fields)
+	b.WriteString(renderPairs(kv))
+	b.WriteByte('\n')
+	line := b.String()
+	l.s.mu.Lock()
+	io.WriteString(l.s.w, line)
+	l.s.mu.Unlock()
+	if c := l.s.lines[lv]; c != nil {
+		c.Inc()
+	}
+}
+
+func renderPairs(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(quote(fmt.Sprint(kv[i+1])))
+		} else {
+			b.WriteString("(missing)")
+		}
+	}
+	return b.String()
+}
+
+// quote renders a value, quoting only when logfmt needs it (spaces,
+// quotes, equals, control characters).
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for _, r := range s {
+		if r <= ' ' || r == '"' || r == '=' || r == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

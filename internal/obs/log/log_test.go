@@ -1,0 +1,128 @@
+package log
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rnuca/internal/obs"
+)
+
+func fixedClock() time.Time { return time.Unix(1700000000, 0).UTC() }
+
+func TestLoggerFormatAndCorrelation(t *testing.T) {
+	var buf strings.Builder
+	lg := New(&buf, LevelInfo)
+	lg.SetClock(fixedClock)
+
+	jl := lg.With("job_id", "j00c0ffee", "kind", "sim")
+	jl.Info("job started", "designs", "P,R")
+	jl.Error("job failed", "err", "boom with spaces")
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	want0 := `ts=2023-11-14T22:13:20Z level=info msg="job started" job_id=j00c0ffee kind=sim designs=P,R`
+	if lines[0] != want0 {
+		t.Errorf("line 0 = %q, want %q", lines[0], want0)
+	}
+	want1 := `ts=2023-11-14T22:13:20Z level=error msg="job failed" job_id=j00c0ffee kind=sim err="boom with spaces"`
+	if lines[1] != want1 {
+		t.Errorf("line 1 = %q, want %q", lines[1], want1)
+	}
+	// Every line carries the bound job_id — the correlation contract.
+	for i, ln := range lines {
+		if !strings.Contains(ln, "job_id=j00c0ffee") {
+			t.Errorf("line %d lost job correlation: %q", i, ln)
+		}
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var buf strings.Builder
+	lg := New(&buf, LevelWarn)
+	lg.SetClock(fixedClock)
+	lg.Debug("d")
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("level gate passed %d lines, want 2:\n%s", got, buf.String())
+	}
+	lg.SetLevel(LevelDebug)
+	lg.Debug("d2")
+	if !strings.Contains(buf.String(), "msg=d2") {
+		t.Fatalf("SetLevel(debug) did not open the gate:\n%s", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var lg *Logger
+	lg.Info("into the void", "k", "v")
+	lg.With("a", 1).Error("still fine")
+	lg.SetLevel(LevelDebug)
+	lg.Instrument(obs.NewRegistry())
+}
+
+func TestLoggerInstrument(t *testing.T) {
+	var buf strings.Builder
+	reg := obs.NewRegistry()
+	lg := New(&buf, LevelInfo)
+	lg.SetClock(fixedClock)
+	lg.Instrument(reg)
+	lg.Info("a")
+	lg.Info("b")
+	lg.Warn("c")
+	lg.Debug("suppressed")
+
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `rnuca_log_lines_total{level="info"} 2`) {
+		t.Errorf("missing info=2 counter:\n%s", text.String())
+	}
+	if !strings.Contains(text.String(), `rnuca_log_lines_total{level="warn"} 1`) {
+		t.Errorf("missing warn=1 counter:\n%s", text.String())
+	}
+	if strings.Contains(text.String(), `rnuca_log_lines_total{level="debug"} 1`) {
+		t.Errorf("suppressed debug line was counted:\n%s", text.String())
+	}
+}
+
+func TestLoggerConcurrentLines(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	lg := New(w, LevelInfo)
+	lg.SetClock(fixedClock)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lg.With("worker", i).Info("tick")
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if got := strings.Count(buf.String(), "\n"); got != 8 {
+		t.Fatalf("got %d lines, want 8", got)
+	}
+	for _, ln := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(ln, "ts=") || !strings.Contains(ln, " msg=tick ") {
+			t.Fatalf("interleaved or malformed line: %q", ln)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

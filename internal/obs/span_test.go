@@ -59,6 +59,78 @@ func TestTraceRingDropsOldest(t *testing.T) {
 	}
 }
 
+// A trace filled to exactly its capacity keeps every span in
+// completion order with nothing dropped; the next span evicts exactly
+// the oldest one.
+func TestTraceRingAtAndPastCapacity(t *testing.T) {
+	tr := NewTrace(4)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		tr.StartSpan(name).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 || tr.Dropped() != 0 {
+		t.Fatalf("at capacity: %d spans, %d dropped", len(spans), tr.Dropped())
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if spans[i].Name != want {
+			t.Fatalf("spans[%d] = %q, want %q", i, spans[i].Name, want)
+		}
+	}
+
+	tr.StartSpan("e").End()
+	spans = tr.Spans()
+	if len(spans) != 4 || tr.Dropped() != 1 {
+		t.Fatalf("past capacity: %d spans, %d dropped", len(spans), tr.Dropped())
+	}
+	for i, want := range []string{"b", "c", "d", "e"} {
+		if spans[i].Name != want {
+			t.Fatalf("after wrap spans[%d] = %q, want %q", i, spans[i].Name, want)
+		}
+	}
+}
+
+// Stages aggregates only the spans still buffered: once the ring drops
+// a stage's every span, that stage disappears from the breakdown, and
+// ordering follows the surviving spans' completion order.
+func TestStagesAfterRingDrops(t *testing.T) {
+	tr := NewTrace(2)
+	tr.add(SpanData{Name: "warmup", Seconds: 5})
+	tr.add(SpanData{Name: "sim.cell", Seconds: 1})
+	tr.add(SpanData{Name: "sim.cell", Seconds: 2}) // evicts warmup
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	st := tr.Stages()
+	if len(st) != 1 {
+		t.Fatalf("stages = %+v, want only sim.cell", st)
+	}
+	if st[0].Stage != "sim.cell" || st[0].Seconds != 3 || st[0].Count != 2 {
+		t.Fatalf("sim.cell = %+v", st[0])
+	}
+}
+
+// Racing Ends on one span must record it exactly once (run under
+// -race in CI).
+func TestSpanConcurrentEndRecordsOnce(t *testing.T) {
+	tr := NewTrace(0)
+	for i := 0; i < 50; i++ {
+		sp := tr.StartSpan("sim.cell")
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sp.SetAttr("g", "x")
+				sp.End()
+			}()
+		}
+		wg.Wait()
+	}
+	if got := len(tr.Spans()); got != 50 {
+		t.Fatalf("recorded %d spans, want 50 (one per span despite racing Ends)", got)
+	}
+}
+
 func TestStagesAggregatesByName(t *testing.T) {
 	tr := NewTrace(0)
 	tr.add(SpanData{Name: "sim.cell", Seconds: 1})

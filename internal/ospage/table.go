@@ -137,6 +137,33 @@ func (t *Table) Lookup(p PageID) *Entry { return t.entries[p] }
 // as read-only).
 func (t *Table) Stats() Stats { return t.stats }
 
+// Transitions is a flat, map-free snapshot of the classification
+// counters, suitable for deterministic encoding (the flight recorder
+// delta-encodes consecutive snapshots; Stats' map form would force
+// nondeterministic iteration).
+type Transitions struct {
+	FirstTouches    uint64
+	PrivateToShared uint64
+	Migrations      uint64
+	InstrToShared   uint64
+	PrivateToInstr  uint64
+	PoisonWaits     uint64
+	TLBShootdowns   uint64
+}
+
+// Transitions returns the cumulative classification counters in flat form.
+func (t *Table) Transitions() Transitions {
+	return Transitions{
+		FirstTouches:    t.stats.FirstTouches,
+		PrivateToShared: t.stats.Reclassifications[ReclassPrivateToShared],
+		Migrations:      t.stats.Reclassifications[ReclassMigration],
+		InstrToShared:   t.stats.Reclassifications[ReclassInstrToShared],
+		PrivateToInstr:  t.stats.Reclassifications[ReclassPrivateToInstr],
+		PoisonWaits:     t.stats.PoisonWaits,
+		TLBShootdowns:   t.stats.TLBShootdowns,
+	}
+}
+
 // Outcome reports what a page access did, so the cache designs can charge
 // the appropriate latency and purge the right blocks.
 type Outcome struct {

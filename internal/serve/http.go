@@ -28,6 +28,7 @@ const (
 //	                             Accept: text/event-stream)
 //	GET    /v1/jobs/{id}/events  SSE stream of status snapshots
 //	GET    /v1/jobs/{id}/trace   per-stage span trace (JSON)
+//	GET    /v1/jobs/{id}/timeline  flight-recorder timelines (JSON)
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/corpora           list stored corpora
 //	POST   /v1/corpora[?name=N]  upload a corpus (raw trace bytes)
@@ -36,6 +37,7 @@ const (
 //	DELETE /v1/corpora/{ref}     drop a name (objects die via gc)
 //	GET    /metrics              counters, Prometheus text format
 //	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 once draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
@@ -45,6 +47,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return mux
 }
@@ -98,12 +107,16 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
-	if id == "" || (sub != "" && sub != "events" && sub != "trace") {
+	if id == "" || (sub != "" && sub != "events" && sub != "trace" && sub != "timeline") {
 		writeError(w, http.StatusNotFound, errors.New("not found"))
 		return
 	}
 	if sub == "trace" {
 		s.handleTrace(w, r, id)
+		return
+	}
+	if sub == "timeline" {
+		s.handleTimeline(w, r, id)
 		return
 	}
 	switch r.Method {
@@ -175,7 +188,8 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, id string) {
 			send("done", st)
 			return
 		}
-		if first || st.State != last.State || st.DoneRefs != last.DoneRefs {
+		if first || st.State != last.State || st.DoneRefs != last.DoneRefs ||
+			st.Epochs != last.Epochs {
 			send("status", st)
 			last, first = st, false
 		}
@@ -309,4 +323,21 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, id string) 
 		Stages:  j.trace.Stages(),
 		Dropped: j.trace.Dropped(),
 	})
+}
+
+// handleTimeline serves GET /v1/jobs/{id}/timeline: the job's
+// flight-recorder timelines by design, empty until a simulation cell
+// finishes (convert and figure jobs record none).
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	j, ok := s.jobByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobTimeline{Job: id, Timelines: j.timelineSnapshot()})
 }

@@ -16,6 +16,7 @@ import (
 	"rnuca/internal/experiments"
 	"rnuca/internal/ingest"
 	"rnuca/internal/obs"
+	"rnuca/internal/obs/flight"
 	"rnuca/internal/report"
 )
 
@@ -222,6 +223,17 @@ type JobTrace struct {
 	Dropped uint64            `json:"dropped,omitempty"`
 }
 
+// JobTimeline is the GET /v1/jobs/{id}/timeline payload: the job's
+// flight-recorder timelines keyed by design ID. Empty until a
+// simulation cell finishes; cells satisfied from the result cache
+// carry the timeline their original execution recorded.
+//
+//rnuca:wire
+type JobTimeline struct {
+	Job       string                      `json:"job"`
+	Timelines map[string]*flight.Timeline `json:"timelines,omitempty"`
+}
+
 // JobStatus is the API view of a job.
 //
 //rnuca:wire
@@ -238,11 +250,18 @@ type JobStatus struct {
 	// that joined another job's identical in-flight computation
 	// (cache outcome "shared") reports no per-ref progress — the
 	// engine belongs to the flight's starter.
-	DoneRefs  int64      `json:"done_refs,omitempty"`
-	TotalRefs int64      `json:"total_refs,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Result    *JobResult `json:"result,omitempty"`
-	Spec      JobSpec    `json:"spec"`
+	DoneRefs  int64 `json:"done_refs,omitempty"`
+	TotalRefs int64 `json:"total_refs,omitempty"`
+	// Epochs counts the flight-recorder epochs the job's executing
+	// cells have closed so far; Epoch is the most recently closed one
+	// (both live on the SSE stream). Like per-ref progress, cells
+	// satisfied or shared from the result cache close no epochs here —
+	// the recorder belongs to the executing engine.
+	Epochs int           `json:"epochs,omitempty"`
+	Epoch  *flight.Epoch `json:"epoch,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	Result *JobResult    `json:"result,omitempty"`
+	Spec   JobSpec       `json:"spec"`
 }
 
 // job is the server-side job record. The spec is normalized at
@@ -275,6 +294,12 @@ type job struct {
 	finished time.Time  // guarded by mu
 	err      string     // guarded by mu
 	result   *JobResult // guarded by mu
+	// Flight-recorder state: epochs counts closed epochs across the
+	// job's executing cells, lastEpoch is the newest, and timelines
+	// holds each finished cell's full timeline by design ID.
+	epochs    int                         // guarded by mu
+	lastEpoch *flight.Epoch               // guarded by mu
+	timelines map[string]*flight.Timeline // guarded by mu
 }
 
 type resolvedCorpus struct {
@@ -303,6 +328,8 @@ func (j *job) status() JobStatus {
 		Created:   j.created,
 		DoneRefs:  done,
 		TotalRefs: total,
+		Epochs:    j.epochs,
+		Epoch:     j.lastEpoch,
 		Error:     j.err,
 		Result:    j.result,
 		Spec:      j.spec,
@@ -343,6 +370,46 @@ func (j *job) finish(state JobState, res *JobResult, err error) {
 // its business anymore: the context passed to Job.Run carries it.
 func (j *job) observe() func(done, total int) {
 	return j.gauge.Observe
+}
+
+// observeEpoch publishes a freshly closed flight epoch on the job's
+// live status; the SSE stream keys change detection off the count.
+// Called synchronously from the engine goroutine, so it must stay
+// cheap.
+func (j *job) observeEpoch(e flight.Epoch) {
+	j.mu.Lock()
+	j.epochs++
+	j.lastEpoch = &e
+	j.mu.Unlock()
+}
+
+// setTimeline stores a finished cell's timeline under its design ID.
+func (j *job) setTimeline(design string, tl *flight.Timeline) {
+	if tl == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.timelines == nil {
+		j.timelines = map[string]*flight.Timeline{}
+	}
+	j.timelines[design] = tl
+	j.mu.Unlock()
+}
+
+// timelineSnapshot copies the design→timeline map for the API. The
+// timelines themselves are immutable once recorded, so sharing the
+// pointers is safe.
+func (j *job) timelineSnapshot() map[string]*flight.Timeline {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.timelines) == 0 {
+		return nil
+	}
+	out := make(map[string]*flight.Timeline, len(j.timelines))
+	for k, v := range j.timelines {
+		out[k] = v
+	}
+	return out
 }
 
 // simSpec reports whether a kind executes as a simulation job.

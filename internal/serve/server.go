@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -16,6 +17,8 @@ import (
 	"rnuca/internal/experiments"
 	"rnuca/internal/ingest"
 	"rnuca/internal/obs"
+	"rnuca/internal/obs/flight"
+	"rnuca/internal/obs/log"
 	"rnuca/internal/report"
 	"rnuca/internal/resultcache"
 )
@@ -49,6 +52,13 @@ type Config struct {
 	// exceeded, the oldest finished jobs (and their result payloads)
 	// are dropped from /v1/jobs. Queued and running jobs never drop.
 	JobHistory int
+	// EpochRefs sets the flight recorder's epoch length in measured
+	// references for simulation cells (0 = the flight default, 64Ki).
+	// Result-neutral: epochs only shape the recorded timelines.
+	EpochRefs int
+	// Logger receives structured job-lifecycle lines, each correlated
+	// by job_id. Nil serves silently.
+	Logger *log.Logger
 }
 
 // defaultJobHistory is the terminal-job retention bound when
@@ -85,6 +95,7 @@ type Server struct {
 	mJobDuration *obs.HistogramVec // rnuca_job_duration_seconds{kind,outcome}
 	mQueueWait   *obs.HistogramVec // rnuca_job_queue_wait_seconds{kind}
 	mRefs        *obs.Counter      // rnuca_engine_refs_simulated_total
+	mEpochs      *obs.Counter      // rnuca_flight_epochs_total
 }
 
 // jobStats is the mutex-guarded lifecycle ledger. Transitions update
@@ -147,6 +158,8 @@ func (s *Server) initMetrics() {
 		obs.DefSecondsBuckets(), "kind")
 	s.mRefs = reg.Counter("rnuca_engine_refs_simulated_total",
 		"Cache references simulated by locally executed cells (cache hits add nothing).")
+	s.mEpochs = reg.Counter("rnuca_flight_epochs_total",
+		"Flight-recorder epochs closed by locally executed cells.")
 
 	s.cache.Instrument(reg)
 
@@ -205,11 +218,19 @@ func New(cfg Config) *Server {
 // it).
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
 
+// logFor returns the server's logger bound to a job's correlation
+// fields. Nil-safe: a server without a logger gets the nil *Logger,
+// which discards.
+func (s *Server) logFor(j *job) *log.Logger {
+	return s.cfg.Logger.With("job_id", j.id, "kind", j.spec.Kind)
+}
+
 // Submit validates a spec, enqueues the job, and returns its status.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	j := &job{id: newJobID(), spec: spec, created: time.Now(), state: JobQueued}
 	if err := s.validate(j); err != nil {
 		s.reject()
+		s.cfg.Logger.Warn("job rejected", "kind", spec.Kind, "err", err)
 		return JobStatus{}, err
 	}
 	j.trace = obs.NewTrace(0)
@@ -224,6 +245,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.mu.Unlock()
 		j.cancel() // detach the rejected job's context from baseCtx
 		s.reject()
+		s.cfg.Logger.Warn("job rejected", "kind", spec.Kind, "err", ErrDraining)
 		return JobStatus{}, ErrDraining
 	}
 	select {
@@ -232,6 +254,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.mu.Unlock()
 		j.cancel()
 		s.reject()
+		s.cfg.Logger.Warn("job rejected", "kind", spec.Kind, "err", ErrBusy)
 		return JobStatus{}, ErrBusy
 	}
 	s.jobs[j.id] = j
@@ -242,6 +265,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.stats.submitted++
 	s.stats.queued++
 	s.stats.mu.Unlock()
+	s.logFor(j).Info("job queued")
 	return j.status(), nil
 }
 
@@ -291,6 +315,16 @@ func (s *Server) jobByID(id string) (*job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// Ready reports whether the server is accepting jobs: true from New
+// until draining begins. /readyz maps it to 200/503 so a load
+// balancer stops routing to a terminating instance while in-flight
+// jobs finish.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
 }
 
 // Drain stops accepting new jobs and waits for queued and running work
@@ -356,8 +390,19 @@ func (s *Server) runJob(j *job) {
 	s.stats.running++
 	s.stats.mu.Unlock()
 
+	s.logFor(j).Info("job running",
+		"queue_wait", time.Since(j.created).Round(time.Millisecond))
+
+	// The worker goroutine carries the job's pprof labels while it
+	// executes, so CPU and goroutine profiles attribute samples to
+	// jobs. j.ctx itself is deliberately not replaced: SSE watchers
+	// read it concurrently.
 	sp := j.trace.StartSpan("job.run")
-	res, err := s.execute(j)
+	var res *JobResult
+	var err error
+	pprof.Do(j.ctx, jobLabels(j.id, j.spec.Kind), func(context.Context) {
+		res, err = s.execute(j)
+	})
 	sp.End()
 	switch {
 	case err == nil:
@@ -401,6 +446,27 @@ func (s *Server) finishJob(j *job, state JobState, res *JobResult, err error, fr
 		s.mJobDuration.With(j.spec.Kind, string(state)).
 			Observe(st.Finished.Sub(start).Seconds())
 	}
+
+	lg := s.logFor(j)
+	var dur time.Duration
+	if st.Finished != nil {
+		dur = st.Finished.Sub(start).Round(time.Millisecond)
+	}
+	switch state {
+	case JobDone:
+		lg.Info("job done", "duration", dur)
+	case JobCanceled:
+		lg.Warn("job canceled", "duration", dur)
+	default:
+		lg.Error("job failed", "duration", dur, "err", err)
+	}
+}
+
+// jobLabels is the pprof label set a worker executes a job under.
+// Factored out so tests can assert the exact labels without running a
+// job.
+func jobLabels(id, kind string) pprof.LabelSet {
+	return pprof.Labels("job_id", id, "kind", kind)
 }
 
 // pruneJobs drops the oldest terminal jobs (and their retained result
@@ -460,6 +526,7 @@ func (s *Server) cell(j *job, cell rnuca.Job) (rnuca.Result, resultcache.Outcome
 	run := func(ctx context.Context) (rnuca.Result, error) {
 		c := cell
 		c.Options.Progress = j.observe()
+		c.Options.Timeline = s.timelineConfig(j)
 		return c.Run(ctx)
 	}
 	key, ok := resultcache.JobKey(cell)
@@ -493,6 +560,23 @@ func (s *Server) cell(j *job, cell rnuca.Job) (rnuca.Result, resultcache.Outcome
 	return v.(rnuca.Result), outcome, nil
 }
 
+// timelineConfig builds a cell's flight-recorder config: each closed
+// epoch lands on the job's live status (and the epochs counter) as
+// the engine crosses the boundary, and the finished cell's full
+// timeline reaches the API via Result.Timeline. Pure observation —
+// the recorder never feeds back into timing, and the option is
+// excluded from the cell's canonical encoding, so cache keys are
+// untouched.
+func (s *Server) timelineConfig(j *job) *rnuca.TimelineConfig {
+	return &rnuca.TimelineConfig{
+		Every: s.cfg.EpochRefs,
+		OnEpoch: func(e flight.Epoch) {
+			s.mEpochs.Add(1)
+			j.observeEpoch(e)
+		},
+	}
+}
+
 // executeSim runs a simulation job, one cached cell per design.
 // Single-design jobs report a single Result; everything else reports a
 // design-keyed map.
@@ -519,6 +603,10 @@ func (s *Server) executeSim(j *job) (*JobResult, error) {
 			return nil, err
 		}
 		out.Cache[string(id)] = outcome.String()
+		// The timeline rides the Result (cache hits carry the one their
+		// original execution recorded) but is served from its own
+		// endpoint, not the result payload.
+		j.setTimeline(string(id), r.Timeline)
 		if single {
 			rr := r
 			out.Result = &rr

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"rnuca/internal/cache"
+	"rnuca/internal/obs/flight"
+	"rnuca/internal/ospage"
 	"rnuca/internal/trace"
 )
 
@@ -28,6 +30,20 @@ type Classifier interface {
 	// LastPlacementClass returns the class used to place the most recent
 	// access.
 	LastPlacementClass() cache.Class
+}
+
+// BankMeter is implemented by designs that expose cumulative per-slice
+// (bank) L2 access counts, tile order. The flight recorder snapshots it
+// at epoch boundaries; all five designs implement it.
+type BankMeter interface {
+	BankAccesses() []uint64
+}
+
+// TransitionMeter is implemented by designs backed by the OS page
+// classifier (R-NUCA), exposing its cumulative transition counters for
+// the flight recorder.
+type TransitionMeter interface {
+	OSTransitions() ospage.Transitions
 }
 
 // Result carries everything a simulation run measured.
@@ -114,6 +130,13 @@ type Engine struct {
 	// DefaultProgressEvery.
 	ProgressEvery int
 
+	// Flight, when non-nil, receives a cumulative counter snapshot every
+	// Flight.Every() *measured* references (plus a final partial flush).
+	// Like Progress, it only observes state the engine accumulates
+	// anyway and feeds nothing back into timing, so an instrumented run
+	// is bit-identical to a bare one.
+	Flight *flight.Recorder
+
 	// Page-class tracking for the §5.2 experiment: ground-truth classes
 	// observed per page, and measured accesses per page.
 	pageMask  map[uint64]uint8
@@ -163,6 +186,11 @@ func (e *Engine) Run(warm, measure int) Result {
 		tick = DefaultProgressEvery
 	}
 
+	var fl *flightState
+	if e.Flight != nil {
+		fl = newFlightState(e)
+	}
+
 	for i := 0; i < warm+measure; i++ {
 		if e.Progress != nil && i > 0 && i%tick == 0 && !e.Progress(i) {
 			break
@@ -171,6 +199,12 @@ func (e *Engine) Run(warm, measure int) Result {
 		if i == warm {
 			st := e.ch.Net.TotalStats()
 			netStart.msgs, netStart.flits = st.Messages, st.FlitHops
+			if fl != nil {
+				// Baseline the recorder so warmup activity (bank
+				// accesses, link flits, OS transitions) is excluded
+				// from the first epoch's delta.
+				fl.rec.Baseline(fl.sample(e))
+			}
 		}
 		core := e.nextCore()
 		// The link-queue contention model resolves each message against
@@ -233,6 +267,19 @@ func (e *Engine) Run(warm, measure int) Result {
 					res.MisclassifiedAccesses++
 				}
 			}
+
+			if fl != nil {
+				fl.coreCycles[core] += busy + total
+				fl.coreInstrs[core] += uint64(r.Busy)
+				fl.classAcc[r.Class]++
+				if cost.OffChipMiss {
+					fl.classMiss[r.Class]++
+				}
+				fl.measured++
+				if fl.measured%uint64(fl.every) == 0 {
+					fl.rec.Observe(fl.sample(e))
+				}
+			}
 		}
 
 		// Close contention windows when every core has passed the mark.
@@ -247,6 +294,19 @@ func (e *Engine) Run(warm, measure int) Result {
 	res.NetMessages = st.Messages - netStart.msgs
 	res.NetFlitHops = st.FlitHops - netStart.flits
 	res.NetWaitCycles = e.ch.Net.WaitCycles()
+
+	if fl != nil {
+		// Flush the final partial epoch (a no-op if the run ended
+		// exactly on a boundary) and record the link-lane labels now
+		// that the first-traversal order is final.
+		fl.rec.Observe(fl.sample(e))
+		links, _ := e.ch.Net.LinkTraffic()
+		labels := make([]string, len(links))
+		for i, l := range links {
+			labels[i] = l.String()
+		}
+		fl.rec.SetLinks(labels)
+	}
 
 	// Accesses to pages holding more than one class, over the whole
 	// measurement (the paper reports 6-26% for its workloads).
@@ -281,6 +341,66 @@ func (e *Engine) nextCore() int {
 		}
 	}
 	return best
+}
+
+// flightState holds the per-run counters the flight recorder samples.
+// They live beside — never inside — the Result accounting, so removing
+// the recorder removes every byte of its state.
+type flightState struct {
+	rec   *flight.Recorder
+	every int
+
+	measured   uint64
+	coreCycles []float64
+	coreInstrs []uint64
+	classAcc   [flight.NumClasses]uint64
+	classMiss  [flight.NumClasses]uint64
+
+	banks BankMeter       // nil when the design has no bank meter
+	trans TransitionMeter // nil for designs without an OS classifier
+}
+
+func newFlightState(e *Engine) *flightState {
+	fl := &flightState{
+		rec:        e.Flight,
+		every:      e.Flight.Every(),
+		coreCycles: make([]float64, e.ch.Cfg.Cores),
+		coreInstrs: make([]uint64, e.ch.Cfg.Cores),
+	}
+	fl.banks, _ = e.design.(BankMeter)
+	fl.trans, _ = e.design.(TransitionMeter)
+	// Per-link flit accounting is only paid for when a recorder is
+	// attached; it reads routes but never charges latency.
+	e.ch.Net.EnableLinkAccounting()
+	return fl
+}
+
+// sample snapshots the cumulative counters for the recorder.
+func (f *flightState) sample(e *Engine) flight.Sample {
+	s := flight.Sample{
+		Refs:          f.measured,
+		CoreCycles:    append([]float64(nil), f.coreCycles...),
+		CoreInstrs:    append([]uint64(nil), f.coreInstrs...),
+		ClassAccesses: f.classAcc,
+		ClassMisses:   f.classMiss,
+	}
+	if f.banks != nil {
+		s.BankAccesses = f.banks.BankAccesses()
+	}
+	if f.trans != nil {
+		t := f.trans.OSTransitions()
+		s.Transitions = flight.Transitions{
+			FirstTouches:    t.FirstTouches,
+			PrivateToShared: t.PrivateToShared,
+			Migrations:      t.Migrations,
+			InstrToShared:   t.InstrToShared,
+			PrivateToInstr:  t.PrivateToInstr,
+			PoisonWaits:     t.PoisonWaits,
+			TLBShootdowns:   t.TLBShootdowns,
+		}
+	}
+	_, s.LinkFlits = e.ch.Net.LinkTraffic()
+	return s
 }
 
 func (e *Engine) minClock() float64 {

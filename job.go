@@ -52,6 +52,14 @@ type RunOptions struct {
 	// Batches > 1 engines run concurrently, so it must be safe for
 	// concurrent use.
 	Progress func(done, total int)
+	// Timeline, when non-nil, attaches a flight recorder
+	// (internal/obs/flight) to the run: every Timeline.Every measured
+	// references the engine snapshots per-core CPI, per-class traffic,
+	// OS-page transitions, bank pressure, and link utilization into
+	// Result.Timeline. Like Progress it is pure observation — it cannot
+	// change the Result, and it is excluded from the canonical encoding
+	// and every cache key. With Batches > 1 the timeline covers batch 0.
+	Timeline *TimelineConfig
 }
 
 // ProgressGauge is a concurrency-safe monotone progress cell whose
@@ -268,10 +276,14 @@ func (j Job) Record(ctx context.Context, path string) (Result, error) {
 	if mk == nil {
 		mk = designMaker(id, opt)
 	}
+	opt.flightRec = newFlightRecorder(opt)
 	var out Result
 	res := runOne(w, opt, mk, streams)
 	out.Result = res
 	out.CPIMean = res.CPI()
+	if opt.flightRec != nil {
+		out.Timeline = opt.flightRec.Timeline()
+	}
 	if t := obs.TraceFrom(ctx); t != nil {
 		out.Timing = t.Stages()
 	}
@@ -360,6 +372,7 @@ func (ro RunOptions) lower(ctx context.Context) runOpts {
 		InstrClusterSize:   ro.InstrClusterSize,
 		PrivateClusterSize: ro.PrivateClusterSize,
 		Config:             ro.Config,
+		Flight:             ro.Timeline,
 		ctx:                ctx,
 	}
 	watch := ro.Progress
@@ -416,8 +429,8 @@ type jobOptionsJSON struct {
 // POST /v1/jobs and the basis of result-cache keys. Two jobs whose
 // encodings are byte-identical are guaranteed to produce
 // bit-identical Results; knobs that provably cannot change results
-// (Sharded, Progress) are excluded by construction. Maker- and
-// source-backed jobs have no canonical encoding and error.
+// (Sharded, Progress, Timeline) are excluded by construction. Maker-
+// and source-backed jobs have no canonical encoding and error.
 func (j Job) MarshalJSON() ([]byte, error) {
 	if j.Maker != nil {
 		return nil, fmt.Errorf("rnuca: a Maker job has no canonical encoding")

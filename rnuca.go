@@ -81,6 +81,7 @@ import (
 
 	"rnuca/internal/design"
 	"rnuca/internal/obs"
+	"rnuca/internal/obs/flight"
 	"rnuca/internal/sim"
 	"rnuca/internal/stats"
 	"rnuca/internal/trace"
@@ -171,6 +172,14 @@ type runOpts struct {
 	// cancels with a context instead.
 	Progress func(done, total int) bool
 
+	// Flight, when non-nil, attaches a flight recorder to batch 0's
+	// engine (one recorder per run helper invocation); like Progress it
+	// is pure observation and result-neutral.
+	Flight *flight.Config
+	// flightRec is the recorder instance a batch helper hands the one
+	// engine that drives it.
+	flightRec *flight.Recorder
+
 	// Shards, when > 1, fans each replay batch's trace decoding across
 	// that many parallel workers (replay only; requires a v2 indexed
 	// trace). The simulation itself stays sequential and consumes refs
@@ -260,6 +269,19 @@ func gridFor(n int) (int, int) {
 // (re-exported from internal/obs).
 type StageTiming = obs.StageTiming
 
+// TimelineConfig configures the flight recorder (re-exported from
+// internal/obs/flight): epoch length in measured references, stored
+// epoch cap, and an optional live per-epoch observer.
+type TimelineConfig = flight.Config
+
+// Timeline is the flight recorder's product: a delta-encoded per-epoch
+// history of the run (re-exported from internal/obs/flight).
+type Timeline = flight.Timeline
+
+// TimelineEpoch is one timeline entry (re-exported from
+// internal/obs/flight).
+type TimelineEpoch = flight.Epoch
+
 // Result is one design's measured performance on one workload.
 //
 //rnuca:wire
@@ -275,6 +297,15 @@ type Result struct {
 	// so observed and unobserved Results stay byte-identical on the
 	// wire and in result-cache comparisons.
 	Timing []StageTiming `json:"-"`
+	// Timeline is the flight recorder's per-epoch history, populated
+	// only when RunOptions.Timeline is set. Like Timing it is
+	// observation, not measurement — excluded from the JSON encoding so
+	// recorded and unrecorded Results stay byte-identical on the wire
+	// and in result-cache comparisons. With Batches > 1 the timeline
+	// covers batch 0 (batches are independently-seeded repetitions, not
+	// phases of one run); for ASR best-of-six it is the winning
+	// variant's.
+	Timeline *Timeline `json:"-"`
 }
 
 // NewDesign constructs a design instance on a chassis. ASR here is the
@@ -321,6 +352,7 @@ func runOne(ws Workload, opt runOpts, mk func(*sim.Chassis) sim.Design, streams 
 	sp.SetAttr("workload", ws.Name)
 	eng := sim.NewEngine(ch, d, streams)
 	eng.OffChipMLP = ws.OffChipMLP
+	eng.Flight = opt.flightRec
 	hookProgress(eng, opt)
 	res := eng.Run(opt.Warm, opt.Measure)
 	res.Workload = ws.Name
@@ -337,6 +369,7 @@ func runOneSource(ws Workload, opt runOpts, mk func(*sim.Chassis) sim.Design, sr
 	sp.SetAttr("workload", ws.Name)
 	eng := sim.NewEngineSource(ch, d, src)
 	eng.OffChipMLP = ws.OffChipMLP
+	eng.Flight = opt.flightRec
 	hookProgress(eng, opt)
 	res := eng.Run(opt.Warm, opt.Measure)
 	res.Workload = ws.Name
@@ -357,14 +390,19 @@ func hookProgress(eng *sim.Engine, opt runOpts) {
 // the results with equal batch weight.
 func runBatches(w Workload, opt runOpts, mk func(*sim.Chassis) sim.Design) Result {
 	results := make([]sim.Result, opt.Batches)
+	rec := newFlightRecorder(opt)
 	var cpi stats.Summary
 	for b := 0; b < opt.Batches; b++ {
 		ws := w
 		ws.Seed = w.Seed + uint64(b)*0x9E37
+		bo := opt
+		if b == 0 {
+			bo.flightRec = rec
+		}
 		if opt.Source != nil {
-			results[b] = runOneSource(ws, opt, mk, opt.Source(b))
+			results[b] = runOneSource(ws, bo, mk, opt.Source(b))
 		} else {
-			results[b] = runOne(ws, opt, mk, workload.Streams(ws))
+			results[b] = runOne(ws, bo, mk, workload.Streams(ws))
 		}
 		cpi.Add(results[b].CPI())
 	}
@@ -372,7 +410,20 @@ func runBatches(w Workload, opt runOpts, mk func(*sim.Chassis) sim.Design) Resul
 	out.Result = fold(opt, results)
 	out.CPIMean = cpi.Mean()
 	out.CPICI = cpi.CI95()
+	if rec != nil {
+		out.Timeline = rec.Timeline()
+	}
 	return out
+}
+
+// newFlightRecorder builds the run's flight recorder when the options
+// ask for one. Each batch-helper invocation gets its own recorder
+// (attached to batch 0's engine), so concurrent cells never share one.
+func newFlightRecorder(opt runOpts) *flight.Recorder {
+	if opt.Flight == nil {
+		return nil
+	}
+	return flight.NewRecorder(*opt.Flight)
 }
 
 // replaySetup validates the trace header and resolves replay options
@@ -518,11 +569,18 @@ func openReplaySource(path string, opt runOpts) (src interface {
 func replayBatches(path string, w Workload, opt runOpts, mk func(*sim.Chassis) sim.Design) (Result, error) {
 	results := make([]sim.Result, opt.Batches)
 	errs := make([]error, opt.Batches)
+	rec := newFlightRecorder(opt)
 	var wg sync.WaitGroup
 	for b := 0; b < opt.Batches; b++ {
 		wg.Add(1)
 		go func(b int) {
 			defer wg.Done()
+			// The recorder is single-goroutine: only batch 0 drives it.
+			bo := opt
+			if b == 0 {
+				bo.flightRec = rec
+			}
+			opt := bo
 			src, closeSrc, err := openReplaySource(path, opt)
 			if err != nil {
 				errs[b] = err
@@ -564,6 +622,9 @@ func replayBatches(path string, w Workload, opt runOpts, mk func(*sim.Chassis) s
 	out.Result = fold(opt, results)
 	out.CPIMean = cpi.Mean()
 	out.CPICI = cpi.CI95()
+	if rec != nil {
+		out.Timeline = rec.Timeline()
+	}
 	return out, nil
 }
 

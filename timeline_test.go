@@ -1,0 +1,159 @@
+package rnuca_test
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"rnuca"
+)
+
+// timelineJob is a short R-NUCA run with epochs small enough that the
+// measurement spans several of them.
+func timelineJob(cfg *rnuca.TimelineConfig) rnuca.Job {
+	return rnuca.Job{
+		Input:   rnuca.FromWorkload(rnuca.OLTPDB2()),
+		Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+		Options: rnuca.RunOptions{Warm: 10_000, Measure: 20_000, Timeline: cfg},
+	}
+}
+
+// TestTimelineBitIdentity is the flight recorder's core contract: a
+// recorded run's Result is byte-identical to an unrecorded one, and two
+// identical recorded runs produce byte-identical timelines.
+func TestTimelineBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	bare, err := timelineJob(nil).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := timelineJob(&rnuca.TimelineConfig{Every: 4096}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, _ := json.Marshal(bare)
+	rj, _ := json.Marshal(rec)
+	if string(bj) != string(rj) {
+		t.Errorf("recorder perturbed the Result:\nbare %s\nrec  %s", bj, rj)
+	}
+	if bare.Result != rec.Result {
+		t.Error("recorder perturbed the raw sim.Result")
+	}
+	if rec.Timeline == nil {
+		t.Fatal("recorded run has no Timeline")
+	}
+
+	rec2, err := timelineJob(&rnuca.TimelineConfig{Every: 4096}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := json.Marshal(rec.Timeline)
+	t2, _ := json.Marshal(rec2.Timeline)
+	if string(t1) != string(t2) {
+		t.Error("two identical runs produced different timelines")
+	}
+}
+
+func TestTimelineContents(t *testing.T) {
+	r, err := timelineJob(&rnuca.TimelineConfig{Every: 4096}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := r.Timeline
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	// 20k measured refs at 4096/epoch: 4 full epochs + a partial flush.
+	if tl.BaseEpochs != 5 {
+		t.Errorf("base epochs = %d, want 5", tl.BaseEpochs)
+	}
+	if tl.EpochRefs != 4096 {
+		t.Errorf("epoch refs = %d", tl.EpochRefs)
+	}
+	if tl.Cores != 16 || tl.Banks != 16 {
+		t.Errorf("cores %d banks %d, want 16/16", tl.Cores, tl.Banks)
+	}
+	if len(tl.Links) == 0 {
+		t.Error("no link lanes recorded")
+	}
+	var refs, instrs uint64
+	var cycles float64
+	for _, e := range tl.Epochs {
+		refs += e.Refs()
+		for c := 0; c < tl.Cores; c++ {
+			cycles += e.CoreCycles[c]
+			instrs += e.CoreInstrs[c]
+		}
+	}
+	// The epochs partition the measurement exactly.
+	if refs != r.Refs {
+		t.Errorf("timeline covers %d refs, Result measured %d", refs, r.Refs)
+	}
+	if instrs != r.Instructions {
+		t.Errorf("timeline instrs %d, Result %d", instrs, r.Instructions)
+	}
+	// Cycles are float sums in a different association order than the
+	// Result's running total, so compare within FP tolerance.
+	if d := cycles - r.Cycles; d > 1e-6*r.Cycles || d < -1e-6*r.Cycles {
+		t.Errorf("timeline cycles %g, Result %g", cycles, r.Cycles)
+	}
+	// R-NUCA classifies pages, so a fresh run must see first touches.
+	var ft uint64
+	for _, e := range tl.Epochs {
+		ft += e.Transitions.FirstTouches
+	}
+	if ft == 0 {
+		t.Error("no OS-page first touches on the R-NUCA timeline")
+	}
+}
+
+// TestTimelineReplayMatchesRecording checks the replay path: recording
+// a run and replaying its trace with the same recorder config yields
+// byte-identical timelines (same refs, same epochs).
+func TestTimelineReplayMatchesRecording(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "tl.rnuca")
+	cfg := &rnuca.TimelineConfig{Every: 4096}
+	recJob := timelineJob(cfg)
+	recorded, err := recJob.Record(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded.Timeline == nil {
+		t.Fatal("Record produced no timeline")
+	}
+	replayed, err := rnuca.Job{
+		Input:   rnuca.FromTrace(path),
+		Designs: []rnuca.DesignID{rnuca.DesignRNUCA},
+		Options: rnuca.RunOptions{Timeline: cfg},
+	}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(recorded.Timeline)
+	b, _ := json.Marshal(replayed.Timeline)
+	if string(a) != string(b) {
+		t.Errorf("replay timeline differs from recording timeline:\nrec    %s\nreplay %s", a, b)
+	}
+}
+
+// TestTimelineBatchesCoverBatchZero documents the Batches > 1 contract.
+func TestTimelineBatchesCoverBatchZero(t *testing.T) {
+	j := timelineJob(&rnuca.TimelineConfig{Every: 4096})
+	j.Options.Batches = 2
+	r, err := j.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Timeline == nil {
+		t.Fatal("no timeline with Batches > 1")
+	}
+	var refs uint64
+	for _, e := range r.Timeline.Epochs {
+		refs += e.Refs()
+	}
+	if refs != 20_000 {
+		t.Errorf("timeline covers %d refs, want batch 0's 20000", refs)
+	}
+}
