@@ -8,7 +8,7 @@
 //
 //	rnuca-serve [-addr :8091] [-corpus DIR] [-ingest DIR] [-workers N]
 //	            [-queue N] [-cache N] [-history N] [-drain 30s]
-//	            [-epoch N] [-log-level info] [-pprof]
+//	            [-epoch N] [-slo 0] [-log-level info] [-pprof]
 //
 // On SIGTERM or SIGINT the server stops accepting jobs, finishes what
 // is queued and running (up to -drain), and exits; a second signal
@@ -24,6 +24,17 @@
 // -epoch sets the flight recorder's epoch length in measured
 // references (default 64Ki); every simulation cell records a
 // per-epoch timeline served at /v1/jobs/{id}/timeline.
+//
+// -slo sets the submit-to-terminal job-latency target (for example
+// -slo 2s). GET /v1/stats then reports per-kind attainment — windowed
+// over the last minute and cumulative since start — and the
+// rnuca_jobs_slo_breached_total{kind} counter burns on every done or
+// failed job that exceeded the target. 0 (the default) disables SLO
+// accounting; latency quantiles are tracked regardless and served on
+// /v1/stats and as rnuca_*_quantile_seconds gauges on /metrics.
+// Submissions refused for queue pressure return 429 with Retry-After
+// (and count in rnuca_jobs_throttled_total); a draining server
+// returns 503 without Retry-After.
 //
 // -pprof mounts net/http/pprof under /debug/pprof/ on the same
 // listener. It is off by default and should stay off on any address
@@ -68,6 +79,7 @@ func main() {
 	history := flag.Int("history", 0, "finished jobs retained for /v1/jobs (0 = default 512)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
 	epoch := flag.Int("epoch", 0, "flight-recorder epoch length in measured refs (0 = default 64Ki)")
+	slo := flag.Duration("slo", 0, "submit-to-terminal job-latency SLO target (0 = SLO accounting off)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (do not enable on publicly reachable addresses)")
 	flag.Parse()
@@ -94,6 +106,7 @@ func main() {
 		JobHistory:   *history,
 		EpochRefs:    *epoch,
 		Logger:       lg,
+		SLO:          *slo,
 	})
 	lg.Instrument(s.Registry())
 	handler := s.Handler()

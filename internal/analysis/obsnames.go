@@ -36,6 +36,7 @@ var ObsNames = &Analyzer{
 var registryMethods = map[string]string{
 	"Counter": "counter", "CounterVec": "counter",
 	"Gauge": "gauge", "GaugeVec": "gauge",
+	"FloatGauge": "gauge", "FloatGaugeVec": "gauge",
 	"Histogram": "histogram", "HistogramVec": "histogram",
 }
 

@@ -15,6 +15,15 @@ func (r *Registry) CounterVec(name, help string, labels ...string) int { return 
 // Gauge registers a gauge.
 func (r *Registry) Gauge(name, help string) int { return 0 }
 
+// GaugeVec registers a labeled gauge.
+func (r *Registry) GaugeVec(name, help string, labels ...string) int { return 0 }
+
+// FloatGauge registers a float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) int { return 0 }
+
+// FloatGaugeVec registers a labeled float-valued gauge.
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) int { return 0 }
+
 // Histogram registers a histogram.
 func (r *Registry) Histogram(name, help string, buckets []float64) int { return 0 }
 
@@ -37,6 +46,21 @@ func register(reg *Registry, suffix string) {
 	reg.Counter("rnuca_flight_epochs_total", "Flight epochs closed.")
 	reg.Gauge("rnuca_flight_ring_scale", "Epochs per ring entry.")
 	reg.CounterVec("rnuca_log_lines_total", "Log lines emitted.", "level")
+
+	// Good: the latency-intelligence family — float quantile gauges
+	// (unit suffix allowed on gauges), saturation gauges, throttle and
+	// SLO counters.
+	reg.FloatGaugeVec("rnuca_job_latency_quantile_seconds", "Windowed quantiles.", "kind", "q")
+	reg.FloatGauge("rnuca_worker_utilization", "Pool busy fraction.")
+	reg.GaugeVec("rnuca_jobs_queue_depth", "Queue depth.", "pool")
+	reg.Counter("rnuca_jobs_throttled_total", "429s issued.")
+	reg.CounterVec("rnuca_jobs_slo_breached_total", "SLO burns.", "kind")
+
+	// Bad: a float gauge is still a gauge — never a _total.
+	reg.FloatGauge("rnuca_worker_utilization_total", "Miscounted float gauge.") // want `obs-name-format`
+
+	// Bad: computed float-gauge name.
+	reg.FloatGaugeVec("rnuca_quantile_"+suffix, "Computed.", "q") // want `obs-name-literal`
 
 	// Bad: flight counter without _total.
 	reg.Counter("rnuca_flight_epochs", "Suffixless flight counter.") // want `obs-name-format`

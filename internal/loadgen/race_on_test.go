@@ -1,0 +1,8 @@
+//go:build race
+
+package loadgen_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// CPU-bound e2e load run skips under it (instrumentation slows the
+// engine ~10x and destroys the latency-agreement bounds).
+const raceEnabled = true

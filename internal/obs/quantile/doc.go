@@ -1,0 +1,51 @@
+// Package quantile provides deterministic, bounded-memory streaming
+// quantile estimation for the serving tier's latency intelligence:
+// per-kind job latency, queue wait, and per-endpoint HTTP latency all
+// flow through it, and rnuca-load reuses it client-side so both ends
+// of a load test measure with the same estimator.
+//
+// # Estimator
+//
+// Estimator is a fixed-capacity reservoir sampler (Vitter's
+// algorithm R) over one observation stream. The reservoir is driven
+// by an explicitly seeded *rand.Rand, so the retained sample — and
+// therefore every reported quantile — is a pure function of
+// (seed, observation sequence): two estimators fed the same values in
+// the same order report bit-identical quantiles, which keeps the
+// repo's determinism discipline intact and makes goldens possible.
+// Count, sum, min, and max are tracked exactly outside the reservoir,
+// so Max is never a sampling casualty. Memory is O(capacity)
+// regardless of stream length.
+//
+// Quantiles are weighted order statistics over the retained sample:
+// with capacity k, the rank error of an estimated quantile q
+// concentrates around sqrt(q(1-q)/k) (about ±1.6 rank points at the
+// median for k = 1024). The fixed-bucket obs.Histogram.Quantile is
+// the natural cross-check: the two agree to within the histogram's
+// bucket resolution (tested).
+//
+// # Windowed
+//
+// Windowed wraps N rotating sub-window estimators under one mutex:
+// observations land in the current sub-window, sub-windows rotate as
+// the clock crosses fixed width boundaries, and a query merges every
+// live sub-window by weighting each retained sample with its
+// sub-window's observed-to-retained ratio. The result is a sliding
+// window of N×width trailing history whose oldest data ages out a
+// sub-window at a time — the shape a latency-driven replication
+// controller wants to consume (ROADMAP item 1). Each rotation reseeds
+// the fresh sub-window deterministically from the base seed and the
+// rotation ordinal.
+//
+// Snapshot reports count/mean/min/max plus p50/p90/p95/p99 for the
+// merged window; FractionBelow reports the estimated fraction of
+// windowed observations at or below a threshold — SLO attainment when
+// the threshold is the SLO target. Empty windows report zeros, never
+// NaN, so snapshots always marshal as JSON.
+//
+// # Vec
+//
+// Vec keys independent Windowed trackers by a single label string
+// (job kind, HTTP route), creating them on first use — the labeled
+// front the serve layer registers its trackers behind.
+package quantile

@@ -1,0 +1,196 @@
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DefaultCap is the reservoir capacity used when a constructor is
+// given 0: large enough for ~±1.6 rank-point error at the median,
+// small enough that a tracker per job kind and HTTP route stays
+// trivially cheap.
+const DefaultCap = 1024
+
+// Estimator is a bounded-memory streaming quantile estimator over one
+// observation stream: a fixed-capacity reservoir (algorithm R) driven
+// by an explicitly seeded PRNG, plus exact count/sum/min/max. It is
+// deterministic — the retained sample is a pure function of the seed
+// and the observation sequence — and is not safe for concurrent use
+// (Windowed adds the lock).
+type Estimator struct {
+	rng     *rand.Rand
+	n       uint64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+}
+
+// New returns an estimator retaining at most cap samples (0 means
+// DefaultCap), seeded deterministically.
+func New(cap int, seed int64) *Estimator {
+	if cap < 0 {
+		panic(fmt.Sprintf("quantile: New(%d): negative capacity", cap))
+	}
+	if cap == 0 {
+		cap = DefaultCap
+	}
+	return &Estimator{
+		rng:     rand.New(rand.NewSource(seed)),
+		samples: make([]float64, 0, cap),
+	}
+}
+
+// Observe records one value.
+func (e *Estimator) Observe(v float64) {
+	if e.n == 0 || v < e.min {
+		e.min = v
+	}
+	if e.n == 0 || v > e.max {
+		e.max = v
+	}
+	e.n++
+	e.sum += v
+	if len(e.samples) < cap(e.samples) {
+		e.samples = append(e.samples, v)
+		return
+	}
+	// Algorithm R: the i-th observation (1-based) replaces a random
+	// reservoir slot with probability cap/i.
+	if j := e.rng.Int63n(int64(e.n)); j < int64(cap(e.samples)) {
+		e.samples[j] = v
+	}
+}
+
+// Count returns the number of observations.
+func (e *Estimator) Count() uint64 { return e.n }
+
+// Sum returns the exact sum of all observations.
+func (e *Estimator) Sum() float64 { return e.sum }
+
+// Min returns the exact minimum (0 if nothing was observed).
+func (e *Estimator) Min() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.min
+}
+
+// Max returns the exact maximum (0 if nothing was observed).
+func (e *Estimator) Max() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.max
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// stream from the retained sample. Empty estimators report 0.
+func (e *Estimator) Quantile(q float64) float64 {
+	return mergedQuantile(e.weighted(nil), q)
+}
+
+// weighted appends the estimator's retained samples to dst, each
+// carrying weight n/len(samples) so sub-streams of different sizes
+// merge fairly.
+func (e *Estimator) weighted(dst []weightedSample) []weightedSample {
+	if len(e.samples) == 0 {
+		return dst
+	}
+	w := float64(e.n) / float64(len(e.samples))
+	for _, v := range e.samples {
+		dst = append(dst, weightedSample{v: v, w: w})
+	}
+	return dst
+}
+
+// weightedSample is one retained observation with the stream weight it
+// stands in for.
+type weightedSample struct{ v, w float64 }
+
+// mergedQuantile computes the weighted q-quantile of a merged sample
+// set: sort by value, then take the first sample whose cumulative
+// weight reaches q of the total. Deterministic (sort is stable on the
+// values themselves) and 0 on an empty set.
+func mergedQuantile(samples []weightedSample, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].v < samples[j].v })
+	var total float64
+	for _, s := range samples {
+		total += s.w
+	}
+	target := q * total
+	cum := 0.0
+	for _, s := range samples {
+		cum += s.w
+		if cum >= target {
+			return s.v
+		}
+	}
+	return samples[len(samples)-1].v
+}
+
+// fractionBelow estimates the fraction of the merged stream at or
+// below x (1 for an empty set: no observation violates a threshold).
+func fractionBelow(samples []weightedSample, x float64) float64 {
+	if len(samples) == 0 {
+		return 1
+	}
+	var total, below float64
+	for _, s := range samples {
+		total += s.w
+		if s.v <= x {
+			below += s.w
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return below / total
+}
+
+// Snapshot is a point-in-time quantile summary. Zero-valued when
+// nothing was observed; never NaN, so it always marshals as JSON.
+type Snapshot struct {
+	Count uint64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P90   float64
+	P95   float64
+	P99   float64
+}
+
+// snapshotOf summarizes a merged sample set with exact count/sum/
+// min/max supplied by the caller.
+func snapshotOf(samples []weightedSample, n uint64, sum, min, max float64) Snapshot {
+	s := Snapshot{Count: n, Min: min, Max: max}
+	if n == 0 {
+		return s
+	}
+	s.Mean = sum / float64(n)
+	s.P50 = mergedQuantile(samples, 0.50)
+	s.P90 = mergedQuantile(samples, 0.90)
+	s.P95 = mergedQuantile(samples, 0.95)
+	s.P99 = mergedQuantile(samples, 0.99)
+	if math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) {
+		s.Mean = 0
+	}
+	return s
+}
+
+// Snapshot summarizes the estimator's whole stream.
+func (e *Estimator) Snapshot() Snapshot {
+	return snapshotOf(e.weighted(nil), e.n, e.sum, e.Min(), e.Max())
+}

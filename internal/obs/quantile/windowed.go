@@ -1,0 +1,250 @@
+package quantile
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default sliding-window shape: 6 sub-windows of 10s give a rolling
+// last-minute view that ages out in 10-second steps.
+const (
+	DefaultWindows = 6
+	DefaultWidth   = 10 * time.Second
+)
+
+// Windowed tracks quantiles over a sliding window of trailing
+// history: N rotating sub-window estimators, merged on every query.
+// Observations land in the current sub-window; when the clock crosses
+// a width boundary the ring advances and the oldest sub-window is
+// discarded, so the merged view always spans at most N×width. Safe
+// for concurrent use.
+type Windowed struct {
+	windows int
+	width   time.Duration
+	cap     int
+	seed    int64
+	now     func() time.Time
+
+	mu        sync.Mutex
+	wins      []*Estimator // guarded by mu; ring, wins[cur] is live
+	cur       int          // guarded by mu
+	curStart  time.Time    // guarded by mu
+	rotations int64        // guarded by mu; seeds fresh sub-windows
+	started   bool         // guarded by mu
+}
+
+// NewWindowed returns a sliding-window tracker of `windows` rotating
+// sub-windows, each `width` wide, each retaining at most sampleCap
+// samples (0s mean the Default* values). The tracker is deterministic
+// given the seed, the observation sequence, and the rotation points.
+func NewWindowed(windows int, width time.Duration, sampleCap int, seed int64) *Windowed {
+	return NewWindowedClock(windows, width, sampleCap, seed, time.Now)
+}
+
+// NewWindowedClock is NewWindowed with an injected clock — the test
+// hook that makes rotation reproducible.
+func NewWindowedClock(windows int, width time.Duration, sampleCap int, seed int64, now func() time.Time) *Windowed {
+	if windows < 0 || width < 0 {
+		panic(fmt.Sprintf("quantile: NewWindowed(%d, %v): negative shape", windows, width))
+	}
+	if windows == 0 {
+		windows = DefaultWindows
+	}
+	if width == 0 {
+		width = DefaultWidth
+	}
+	if sampleCap == 0 {
+		sampleCap = DefaultCap
+	}
+	return &Windowed{
+		windows: windows,
+		width:   width,
+		cap:     sampleCap,
+		seed:    seed,
+		now:     now,
+		wins:    make([]*Estimator, windows),
+	}
+}
+
+// Span returns the window's total trailing coverage (windows×width).
+func (w *Windowed) Span() time.Duration {
+	return time.Duration(w.windows) * w.width
+}
+
+// rotateLocked advances the ring so that wins[cur] covers the sub-window
+// containing t. Callers hold w.mu.
+func (w *Windowed) rotateLocked(t time.Time) {
+	if !w.started {
+		w.started = true
+		w.curStart = t
+		w.wins[w.cur] = New(w.cap, w.subSeedLocked())
+		return
+	}
+	elapsed := t.Sub(w.curStart)
+	if elapsed < w.width {
+		return
+	}
+	steps := int64(elapsed / w.width)
+	if steps >= int64(w.windows) {
+		// The whole window aged out (an idle tracker): drop everything
+		// in one move instead of stepping rotation-by-rotation.
+		for i := range w.wins {
+			w.wins[i] = nil
+		}
+		w.rotations += steps
+		w.cur = 0
+		w.curStart = w.curStart.Add(w.width * time.Duration(steps))
+		w.wins[w.cur] = New(w.cap, w.subSeedLocked())
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		w.cur = (w.cur + 1) % w.windows
+		w.rotations++
+		w.wins[w.cur] = New(w.cap, w.subSeedLocked())
+	}
+	w.curStart = w.curStart.Add(w.width * time.Duration(steps))
+}
+
+// subSeedLocked derives the live sub-window's estimator seed from the base
+// seed and the rotation ordinal, so every sub-window samples
+// independently yet reproducibly. Callers hold w.mu.
+func (w *Windowed) subSeedLocked() int64 {
+	return w.seed + w.rotations + 1
+}
+
+// Observe records one value into the current sub-window.
+func (w *Windowed) Observe(v float64) {
+	t := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked(t)
+	w.wins[w.cur].Observe(v)
+}
+
+// mergedLocked collects the live sub-windows' weighted samples and exact
+// aggregates. Callers hold w.mu.
+func (w *Windowed) mergedLocked() (samples []weightedSample, n uint64, sum, min, max float64) {
+	first := true
+	for _, e := range w.wins {
+		if e == nil || e.Count() == 0 {
+			continue
+		}
+		samples = e.weighted(samples)
+		n += e.Count()
+		sum += e.Sum()
+		if first || e.Min() < min {
+			min = e.Min()
+		}
+		if first || e.Max() > max {
+			max = e.Max()
+		}
+		first = false
+	}
+	return samples, n, sum, min, max
+}
+
+// Snapshot merges every live sub-window into one quantile summary of
+// the sliding window.
+func (w *Windowed) Snapshot() Snapshot {
+	t := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked(t)
+	return snapshotOf(w.mergedLocked())
+}
+
+// FractionBelow estimates the fraction of windowed observations at or
+// below x — SLO attainment when x is the target. An empty window
+// reports 1 (nothing violated the threshold).
+func (w *Windowed) FractionBelow(x float64) float64 {
+	t := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked(t)
+	samples, _, _, _, _ := w.mergedLocked()
+	return fractionBelow(samples, x)
+}
+
+// Count returns the number of observations inside the window.
+func (w *Windowed) Count() uint64 {
+	t := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked(t)
+	_, n, _, _, _ := w.mergedLocked()
+	return n
+}
+
+// Vec keys independent Windowed trackers by one label value (a job
+// kind, an HTTP route), creating each on first use. Labels get
+// decorrelated but deterministic seeds derived from the base seed and
+// the label text. Safe for concurrent use.
+type Vec struct {
+	windows int
+	width   time.Duration
+	cap     int
+	seed    int64
+	now     func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*Windowed // guarded by mu
+}
+
+// NewVec returns a label-keyed family of sliding-window trackers; the
+// shape parameters follow NewWindowed.
+func NewVec(windows int, width time.Duration, sampleCap int, seed int64) *Vec {
+	return NewVecClock(windows, width, sampleCap, seed, time.Now)
+}
+
+// NewVecClock is NewVec with an injected clock.
+func NewVecClock(windows int, width time.Duration, sampleCap int, seed int64, now func() time.Time) *Vec {
+	return &Vec{
+		windows: windows, width: width, cap: sampleCap, seed: seed,
+		now: now,
+		m:   map[string]*Windowed{},
+	}
+}
+
+// With returns the tracker for one label value, creating it on first
+// use.
+func (v *Vec) With(label string) *Windowed {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if w, ok := v.m[label]; ok {
+		return w
+	}
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	w := NewWindowedClock(v.windows, v.width, v.cap, v.seed+int64(h.Sum64()), v.now)
+	v.m[label] = w
+	return w
+}
+
+// Labels returns the known label values, sorted.
+func (v *Vec) Labels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.m))
+	for k := range v.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshots returns a label→Snapshot map over every known tracker,
+// omitting labels whose windows are currently empty.
+func (v *Vec) Snapshots() map[string]Snapshot {
+	out := map[string]Snapshot{}
+	for _, label := range v.Labels() {
+		s := v.With(label).Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		out[label] = s
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -263,6 +264,42 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.child(values, func() metric { return new(Gauge) }).(*Gauge)
 }
 
+// ---- FloatGauge ----
+
+// FloatGauge is a float64 gauge for values an int64 cannot carry —
+// latency quantiles in seconds, ratios. Lock-free: the value lives in
+// an atomic as its IEEE-754 bits.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FloatGauge) write(w io.Writer, name, labels string) error {
+	return sampleLine(w, name, labels, formatFloat(g.Value()))
+}
+
+// FloatGauge registers an unlabeled float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	f := r.register(name, help, typeGauge, nil)
+	return f.child(nil, func() metric { return new(FloatGauge) }).(*FloatGauge)
+}
+
+// FloatGaugeVec is a float-gauge family keyed by label values.
+type FloatGaugeVec struct{ f *family }
+
+// FloatGaugeVec registers a labeled float-gauge family.
+func (r *Registry) FloatGaugeVec(name, help string, labels ...string) *FloatGaugeVec {
+	return &FloatGaugeVec{r.register(name, help, typeGauge, labels)}
+}
+
+// With returns the child gauge for one label-value tuple.
+func (v *FloatGaugeVec) With(values ...string) *FloatGauge {
+	return v.f.child(values, func() metric { return new(FloatGauge) }).(*FloatGauge)
+}
+
 // ---- Histogram ----
 
 // Histogram counts observations into fixed buckets. Buckets are upper
@@ -310,6 +347,43 @@ func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by monotone linear interpolation inside the bucket
+// where the cumulative count crosses the target rank — the
+// histogram_quantile estimate. The first bucket interpolates from a
+// lower edge of 0 (the layout is for non-negative measurements); a
+// rank landing in the +Inf bucket clamps to the highest finite bound.
+// Returns NaN when nothing was observed or q is outside [0, 1]. The
+// estimate is monotone in q and exact at bucket boundaries; its error
+// is bounded by the width of the bucket the quantile falls in.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if h.counts[i] == 0 {
+			return lo
+		}
+		return lo + (b-lo)*(rank-float64(prev))/float64(h.counts[i])
+	}
+	// The rank lands in the +Inf bucket: the best monotone answer the
+	// layout allows is the largest finite bound.
+	return h.bounds[len(h.bounds)-1]
 }
 
 func (h *Histogram) write(w io.Writer, name, labels string) error {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -186,5 +187,104 @@ func TestConcurrentUse(t *testing.T) {
 	wg.Wait()
 	if c.Value() != 8*500 {
 		t.Fatalf("count = %d", c.Value())
+	}
+}
+
+// TestHistogramQuantile pins the monotone-interpolation arithmetic on
+// a hand-checkable layout.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "", []float64{1, 2, 4})
+
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatalf("empty histogram Quantile = %v, want NaN", h.Quantile(0.5))
+	}
+
+	// Four observations in the (1, 2] bucket: rank q*4 interpolates
+	// linearly across that bucket.
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("Quantile(0.5) = %v, want 1.5", got)
+	}
+	if got := h.Quantile(0.25); got != 1.25 {
+		t.Errorf("Quantile(0.25) = %v, want 1.25", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want 2 (bucket upper bound)", got)
+	}
+
+	// First bucket interpolates from a lower edge of 0.
+	h2 := reg.Histogram("q2_seconds", "", []float64{1, 2})
+	h2.Observe(0.5)
+	h2.Observe(0.5)
+	if got := h2.Quantile(0.5); got != 0.5 {
+		t.Errorf("first-bucket Quantile(0.5) = %v, want 0.5", got)
+	}
+
+	// A rank in the +Inf bucket clamps to the largest finite bound.
+	h3 := reg.Histogram("q3_seconds", "", []float64{1, 2})
+	h3.Observe(100)
+	if got := h3.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket Quantile = %v, want 2", got)
+	}
+
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(h.Quantile(bad)) {
+			t.Errorf("Quantile(%v) = %v, want NaN", bad, h.Quantile(bad))
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracyAndMonotonicity: on a uniform stream
+// the estimate stays within one bucket of truth and never decreases
+// in q.
+func TestHistogramQuantileAccuracyAndMonotonicity(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("qa_seconds", "", DefSecondsBuckets())
+	// Uniform over (0, 1]: true q-quantile is q.
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i) / n)
+	}
+	prev := math.Inf(-1)
+	for q := 0.05; q <= 0.99; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", q, got, prev)
+		}
+		prev = got
+		// Power-of-two buckets: the estimate must sit within the bucket
+		// holding the true quantile, i.e. within a factor of 2.
+		if got < q/2 || got > 2*q {
+			t.Errorf("Quantile(%.2f) = %v, outside [%v, %v]", q, got, q/2, 2*q)
+		}
+	}
+}
+
+// TestFloatGauge covers the float-valued gauge and its rendering.
+func TestFloatGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.FloatGauge("lat_seconds", "A float level.")
+	g.Set(0.125)
+	if g.Value() != 0.125 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+	v := reg.FloatGaugeVec("latv_seconds", "Labeled float levels.", "kind", "q")
+	v.With("sim", "p99").Set(0.25)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds gauge",
+		"lat_seconds 0.125",
+		`latv_seconds{kind="sim",q="p99"} 0.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -35,15 +35,20 @@ const (
 //	POST   /v1/corpora/gc        collect unreferenced objects
 //	GET    /v1/corpora/{ref}     manifest (?verify=1 re-checks content)
 //	DELETE /v1/corpora/{ref}     drop a name (objects die via gc)
+//	GET    /v1/stats             latency quantiles, saturation, SLO (JSON)
 //	GET    /metrics              counters, Prometheus text format
 //	GET    /healthz              liveness
 //	GET    /readyz               readiness (503 once draining)
+//
+// Every route is wrapped in the latency middleware: per-route request
+// counters, duration histograms, and windowed quantiles.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/corpora", s.handleCorpora)
 	mux.HandleFunc("/v1/corpora/", s.handleCorpus)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -55,7 +60,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
-	return mux
+	return s.instrument(mux)
 }
 
 // writeJSON writes a JSON response.
@@ -89,8 +94,12 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Submit(spec)
 		switch {
 		case errors.Is(err, ErrDraining):
+			// Draining is terminal for this instance — no Retry-After;
+			// the client should go elsewhere.
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrBusy):
+			// Queue pressure is transient: tell the client when to retry.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err)
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)

@@ -59,6 +59,11 @@ type Config struct {
 	// Logger receives structured job-lifecycle lines, each correlated
 	// by job_id. Nil serves silently.
 	Logger *log.Logger
+	// SLO is the submit→terminal job-latency target: jobs reaching done
+	// or failed later than this burn the per-kind SLO counters, and
+	// /v1/stats reports attainment against it. 0 disables SLO
+	// accounting (latency quantiles are tracked regardless).
+	SLO time.Duration
 }
 
 // defaultJobHistory is the terminal-job retention bound when
@@ -91,11 +96,23 @@ type Server struct {
 	// metrics under the render lock.
 	stats jobStats
 
+	// lat holds the windowed latency quantiles and SLO burn counters
+	// that /v1/stats serves and the quantile gauges export.
+	lat *latencyTracker
+
 	reg          *obs.Registry
 	mJobDuration *obs.HistogramVec // rnuca_job_duration_seconds{kind,outcome}
 	mQueueWait   *obs.HistogramVec // rnuca_job_queue_wait_seconds{kind}
 	mRefs        *obs.Counter      // rnuca_engine_refs_simulated_total
 	mEpochs      *obs.Counter      // rnuca_flight_epochs_total
+
+	mSLOBreached  *obs.CounterVec   // rnuca_jobs_slo_breached_total{kind}
+	mHTTPRequests *obs.CounterVec   // rnuca_http_requests_total{route,code}
+	mHTTPDuration *obs.HistogramVec // rnuca_http_request_duration_seconds{route}
+
+	mJobQuantile       *obs.FloatGaugeVec // rnuca_job_latency_quantile_seconds{kind,q}
+	mQueueWaitQuantile *obs.FloatGaugeVec // rnuca_job_queue_wait_quantile_seconds{kind,q}
+	mHTTPQuantile      *obs.FloatGaugeVec // rnuca_http_request_quantile_seconds{route,q}
 }
 
 // jobStats is the mutex-guarded lifecycle ledger. Transitions update
@@ -105,7 +122,10 @@ type jobStats struct {
 	mu sync.Mutex
 	// guarded by mu
 	submitted, completed, failed, canceled, rejected uint64
-	queued, running                                  int64 // guarded by mu
+	// throttled counts the rejected subset refused for queue pressure
+	// (the 429s); drain refusals count only in rejected. guarded by mu.
+	throttled       uint64
+	queued, running int64 // guarded by mu
 }
 
 // Metrics returns a consistent snapshot of the job-lifecycle counters
@@ -134,8 +154,16 @@ func (s *Server) initMetrics() {
 	failed := reg.Counter("rnuca_jobs_failed_total", "Jobs finished with an error.")
 	canceled := reg.Counter("rnuca_jobs_canceled_total", "Jobs canceled before completion.")
 	rejected := reg.Counter("rnuca_jobs_rejected_total", "Submissions refused at the door.")
+	throttled := reg.Counter("rnuca_jobs_throttled_total",
+		"Submissions refused for queue pressure (the HTTP 429s; a subset of rejected).")
 	queued := reg.Gauge("rnuca_jobs_queued", "Jobs waiting for a worker.")
 	running := reg.Gauge("rnuca_jobs_running", "Jobs currently executing.")
+	queueDepth := reg.Gauge("rnuca_jobs_queue_depth",
+		"Jobs waiting for a worker (saturation alias of rnuca_jobs_queued).")
+	inflight := reg.Gauge("rnuca_jobs_inflight",
+		"Jobs currently executing (saturation alias of rnuca_jobs_running).")
+	utilization := reg.FloatGauge("rnuca_worker_utilization",
+		"Fraction of the worker pool executing jobs (inflight/workers).")
 	workers := reg.Gauge("rnuca_workers", "Size of the worker pool.")
 	workers.Set(int64(s.cfg.Workers))
 	reg.OnCollect(func() {
@@ -146,8 +174,12 @@ func (s *Server) initMetrics() {
 		failed.Set(s.stats.failed)
 		canceled.Set(s.stats.canceled)
 		rejected.Set(s.stats.rejected)
+		throttled.Set(s.stats.throttled)
 		queued.Set(s.stats.queued)
 		running.Set(s.stats.running)
+		queueDepth.Set(s.stats.queued)
+		inflight.Set(s.stats.running)
+		utilization.Set(float64(s.stats.running) / float64(s.cfg.Workers))
 	})
 
 	s.mJobDuration = reg.HistogramVec("rnuca_job_duration_seconds",
@@ -160,6 +192,27 @@ func (s *Server) initMetrics() {
 		"Cache references simulated by locally executed cells (cache hits add nothing).")
 	s.mEpochs = reg.Counter("rnuca_flight_epochs_total",
 		"Flight-recorder epochs closed by locally executed cells.")
+
+	s.mSLOBreached = reg.CounterVec("rnuca_jobs_slo_breached_total",
+		"Done or failed jobs whose submit-to-terminal latency exceeded the SLO target.",
+		"kind")
+	s.mHTTPRequests = reg.CounterVec("rnuca_http_requests_total",
+		"HTTP requests served, by normalized route and status code.",
+		"route", "code")
+	s.mHTTPDuration = reg.HistogramVec("rnuca_http_request_duration_seconds",
+		"HTTP handler latency by normalized route (SSE streams record their full lifetime).",
+		obs.DefSecondsBuckets(), "route")
+
+	s.mJobQuantile = reg.FloatGaugeVec("rnuca_job_latency_quantile_seconds",
+		"Windowed submit-to-terminal job latency quantiles per kind.",
+		"kind", "q")
+	s.mQueueWaitQuantile = reg.FloatGaugeVec("rnuca_job_queue_wait_quantile_seconds",
+		"Windowed queue-wait quantiles per kind.",
+		"kind", "q")
+	s.mHTTPQuantile = reg.FloatGaugeVec("rnuca_http_request_quantile_seconds",
+		"Windowed HTTP handler latency quantiles per normalized route.",
+		"route", "q")
+	reg.OnCollect(s.collectQuantiles)
 
 	s.cache.Instrument(reg)
 
@@ -184,6 +237,16 @@ func (s *Server) reject() {
 	s.stats.mu.Unlock()
 }
 
+// throttle counts a submission refused for queue pressure: it is a
+// rejection, and additionally a throttle (the 429 the client should
+// back off from, as opposed to a drain's terminal 503).
+func (s *Server) throttle() {
+	s.stats.mu.Lock()
+	s.stats.rejected++
+	s.stats.throttled++
+	s.stats.mu.Unlock()
+}
+
 // New builds a server and starts its worker pool.
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
@@ -204,6 +267,7 @@ func New(cfg Config) *Server {
 		stop:    cancel,
 		jobs:    map[string]*job{},
 		queue:   make(chan *job, cfg.QueueDepth),
+		lat:     newLatencyTracker(cfg.SLO),
 	}
 	s.initMetrics()
 	for i := 0; i < cfg.Workers; i++ {
@@ -253,7 +317,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	default:
 		s.mu.Unlock()
 		j.cancel()
-		s.reject()
+		s.throttle()
 		s.cfg.Logger.Warn("job rejected", "kind", spec.Kind, "err", ErrBusy)
 		return JobStatus{}, ErrBusy
 	}
@@ -379,7 +443,9 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	defer j.cancel()
 	j.queued.End()
-	s.mQueueWait.With(j.spec.Kind).Observe(time.Since(j.created).Seconds())
+	wait := time.Since(j.created).Seconds()
+	s.mQueueWait.With(j.spec.Kind).Observe(wait)
+	s.lat.queueWait.With(j.spec.Kind).Observe(wait)
 	if j.ctx.Err() != nil {
 		s.finishJob(j, JobCanceled, nil, context.Cause(j.ctx), true)
 		return
@@ -445,6 +511,11 @@ func (s *Server) finishJob(j *job, state JobState, res *JobResult, err error, fr
 	if st.Finished != nil {
 		s.mJobDuration.With(j.spec.Kind, string(state)).
 			Observe(st.Finished.Sub(start).Seconds())
+		// The windowed quantiles and the SLO measure what the client
+		// felt: submit→terminal, queue wait included.
+		if s.lat.observeJob(j.spec.Kind, state, st.Finished.Sub(st.Created).Seconds()) {
+			s.mSLOBreached.With(j.spec.Kind).Inc()
+		}
 	}
 
 	lg := s.logFor(j)
