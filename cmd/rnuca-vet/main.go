@@ -6,6 +6,15 @@
 //
 //	go run ./cmd/rnuca-vet ./...
 //	go run ./cmd/rnuca-vet -json ./... | jq '.[].code'
+//	go run ./cmd/rnuca-vet -jobs 4 -sarif ./... > vet.sarif
+//	go run ./cmd/rnuca-vet -baseline vet-baseline.json ./...
+//
+// -jobs N fans the type-check out over N workers (N<=1 is the shared-
+// cache sequential loader). -baseline admits the findings recorded in
+// a baseline file and fails only on new ones; -write-baseline
+// snapshots the current findings into one. -update regenerates the
+// api-frozen.txt snapshots of packages that carry them, for deliberate
+// API changes.
 //
 // See internal/analysis/doc.go for the diagnostic codes and the
 // //rnuca: annotation vocabulary.
@@ -16,15 +25,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"rnuca/internal/analysis"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file/line/col/code/analyzer/message)")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for code-scanning upload")
 	list := flag.Bool("codes", false, "list every diagnostic code the suite can emit and exit")
+	jobs := flag.Int("jobs", 1, "type-check packages over this many parallel workers")
+	baselinePath := flag.String("baseline", "", "admit the findings in this baseline file; fail only on new ones")
+	writeBaseline := flag.String("write-baseline", "", "snapshot current findings into this baseline file and exit 0")
+	update := flag.Bool("update", false, "regenerate api-frozen.txt snapshots instead of reporting apifreeze findings")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rnuca-vet [-json] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: rnuca-vet [-json|-sarif] [-jobs n] [-baseline file] [-write-baseline file] [-update] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,7 +53,9 @@ func main() {
 		return
 	}
 
-	pkgs, err := analysis.Load(flag.Args()...)
+	analysis.UpdateAPISnapshots = *update
+
+	pkgs, err := analysis.LoadParallel(*jobs, flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
 		os.Exit(2)
@@ -46,8 +65,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
 		os.Exit(2)
 	}
+	relativize(diags)
 
-	if *jsonOut {
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rnuca-vet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		entries, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
+			os.Exit(2)
+		}
+		admitted, fresh := analysis.ApplyBaseline(diags, entries)
+		if len(admitted) > 0 {
+			fmt.Fprintf(os.Stderr, "rnuca-vet: %d baselined finding(s) admitted\n", len(admitted))
+		}
+		diags = fresh
+	}
+
+	switch {
+	case *sarifOut:
+		root, _ := os.Getwd()
+		out, err := analysis.MarshalSARIF(diags, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case *jsonOut:
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
@@ -57,12 +107,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rnuca-vet:", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
+	}
+}
+
+// relativize rewrites diagnostic paths relative to the working
+// directory (the module root, per the run-from-module contract), so
+// findings, baselines, and SARIF artifacts are machine-portable.
+func relativize(diags []analysis.Diagnostic) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
 	}
 }

@@ -27,6 +27,9 @@ func All() []*Analyzer {
 		WireFrozen,
 		CtxRules,
 		ObsNames,
+		HotPath,
+		Goroutines,
+		APIFreeze,
 	}
 }
 
@@ -77,6 +80,9 @@ type Pass struct {
 	PkgPath string
 	// IsMain reports a main package (cmd/*): several rules relax there.
 	IsMain bool
+	// Dir is the package's source directory on disk; apifreeze looks for
+	// its opt-in snapshot under Dir/testdata.
+	Dir string
 
 	ann   *annotations
 	diags []Diagnostic
@@ -188,6 +194,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				TypesInfo: pkg.Info,
 				PkgPath:   pkg.Path,
 				IsMain:    pkg.IsMain,
+				Dir:       pkg.Dir,
 				ann:       ann,
 			}
 			if err := a.Run(pass); err != nil {

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// APIFreeze pins a package's exported surface to a checked-in
+// snapshot, testdata/api-frozen.txt in the package directory. The
+// snapshot's presence opts the package in (the module root `rnuca` —
+// the public Job API — carries one); each analyzed run re-renders the
+// surface and compares:
+//
+//	api-removed  a snapshotted symbol (function, type, method, field,
+//	             var, const) no longer exists
+//	api-changed  a snapshotted symbol exists but its type or
+//	             signature differs
+//
+// Additions are allowed — new API is how the repo grows — and land in
+// the snapshot on the next `rnuca-vet -update` run. Removals and
+// signature changes are deliberate breaks: regenerate the snapshot in
+// the same commit, so the diff review sees the API change spelled
+// out line by line.
+var APIFreeze = &Analyzer{
+	Name: "apifreeze",
+	Doc:  "the exported surface of snapshot-carrying packages only changes when the snapshot is regenerated",
+	Codes: []string{
+		"api-removed",
+		"api-changed",
+	},
+	Run: runAPIFreeze,
+}
+
+// UpdateAPISnapshots switches APIFreeze from comparing to rewriting:
+// rnuca-vet -update sets it so a deliberate API change regenerates the
+// snapshot instead of reporting findings.
+var UpdateAPISnapshots bool
+
+// apiSnapshotFile is the per-package opt-in marker and storage.
+const apiSnapshotFile = "api-frozen.txt"
+
+// apiSymbol is one line of the rendered surface: a stable key naming
+// the symbol and a descriptor that must not change.
+type apiSymbol struct {
+	key  string
+	desc string
+	pos  token.Pos
+}
+
+func runAPIFreeze(pass *Pass) error {
+	if pass.Dir == "" {
+		return nil
+	}
+	path := filepath.Join(pass.Dir, "testdata", apiSnapshotFile)
+	if _, err := os.Stat(path); err != nil {
+		return nil // not opted in
+	}
+	surface := apiSurface(pass.Pkg)
+
+	if UpdateAPISnapshots {
+		var b strings.Builder
+		b.WriteString("# Exported surface of " + pass.PkgPath + ", frozen by rnuca-vet's apifreeze pass.\n")
+		b.WriteString("# Regenerate with: go run ./cmd/rnuca-vet -update " + pass.PkgPath + "\n")
+		for _, s := range surface {
+			b.WriteString(s.key + " " + s.desc + "\n")
+		}
+		return os.WriteFile(path, []byte(b.String()), 0o644)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("apifreeze: %w", err)
+	}
+	frozen := map[string]string{}
+	var frozenKeys []string
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A line is "kind name descriptor"; the two-token key ("func
+		// Name", "method (*T).M") never itself contains a space.
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) < 3 {
+			return fmt.Errorf("apifreeze: %s:%d: malformed snapshot line %q", path, i+1, line)
+		}
+		key, desc := parts[0]+" "+parts[1], parts[2]
+		if _, dup := frozen[key]; !dup {
+			frozenKeys = append(frozenKeys, key)
+		}
+		frozen[key] = desc
+	}
+
+	current := map[string]apiSymbol{}
+	for _, s := range surface {
+		current[s.key] = s
+	}
+
+	// Removals anchor at the package clause (there is no symbol left to
+	// point at); the first file in parse order keeps it deterministic.
+	anchor := token.NoPos
+	if len(pass.Files) > 0 {
+		anchor = pass.Files[0].Name.Pos()
+	}
+	for _, key := range frozenKeys {
+		cur, ok := current[key]
+		if !ok {
+			pass.Reportf(anchor, "api-removed",
+				"exported symbol %s was removed from the frozen surface (was %q); regenerate with rnuca-vet -update if deliberate", key, frozen[key])
+			continue
+		}
+		if cur.desc != frozen[key] {
+			pass.Reportf(cur.pos, "api-changed",
+				"exported symbol %s changed: frozen %q, now %q; regenerate with rnuca-vet -update if deliberate", key, frozen[key], cur.desc)
+		}
+	}
+	return nil
+}
+
+// apiSurface renders a package's exported surface as sorted symbol
+// lines. Unexported internals never appear, so refactors that keep
+// the surface stable do not disturb the snapshot.
+func apiSurface(pkg *types.Package) []apiSymbol {
+	qual := types.RelativeTo(pkg)
+	var out []apiSymbol
+	add := func(key, desc string, pos token.Pos) {
+		out = append(out, apiSymbol{key: key, desc: desc, pos: pos})
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !ast.IsExported(name) {
+			continue
+		}
+		obj := scope.Lookup(name)
+		switch obj := obj.(type) {
+		case *types.Const:
+			add("const "+name, types.TypeString(obj.Type(), qual), obj.Pos())
+		case *types.Var:
+			add("var "+name, types.TypeString(obj.Type(), qual), obj.Pos())
+		case *types.Func:
+			add("func "+name, types.TypeString(obj.Type(), qual), obj.Pos())
+		case *types.TypeName:
+			if obj.IsAlias() {
+				add("type "+name, "= "+types.TypeString(obj.Type(), qual), obj.Pos())
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			switch u := named.Underlying().(type) {
+			case *types.Struct:
+				add("type "+name, "struct", obj.Pos())
+				for i := 0; i < u.NumFields(); i++ {
+					f := u.Field(i)
+					if !f.Exported() {
+						continue
+					}
+					add("field "+name+"."+f.Name(), types.TypeString(f.Type(), qual), f.Pos())
+				}
+			case *types.Interface:
+				add("type "+name, "interface", obj.Pos())
+				for i := 0; i < u.NumMethods(); i++ {
+					m := u.Method(i)
+					if !m.Exported() {
+						continue
+					}
+					add("method "+name+"."+m.Name(), types.TypeString(m.Type(), qual), m.Pos())
+				}
+			default:
+				add("type "+name, types.TypeString(named.Underlying(), qual), obj.Pos())
+			}
+			// Explicit methods; the receiver form is part of the key, so
+			// changing a value receiver to a pointer receiver (which
+			// shrinks the value method set) reads as remove + add.
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if !m.Exported() {
+					continue
+				}
+				recv := name
+				sig := m.Type().(*types.Signature)
+				if sig.Recv() != nil {
+					if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+						recv = "*" + name
+					}
+				}
+				add("method ("+recv+")."+m.Name(), types.TypeString(m.Type(), qual), m.Pos())
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}

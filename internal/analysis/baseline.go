@@ -1,0 +1,78 @@
+package analysis
+
+// Baselines let a new analyzer land before the codebase satisfies it:
+// `rnuca-vet -write-baseline vet-baseline.json` snapshots today's
+// findings, `-baseline vet-baseline.json` then admits exactly those
+// while failing on anything new. Matching is a multiset over
+// (file, code, message) — line numbers are deliberately excluded so
+// unrelated edits that shift a baselined finding down the file don't
+// resurrect it. The repo's own checked-in baseline is empty (every
+// finding the v2 passes raised was fixed or waived in place);
+// TestRepoIsVetClean pins it that way.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BaselineEntry is one admitted finding.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// baselineKey is the identity baselining matches on.
+func baselineKey(file, code, message string) string {
+	return file + "\x00" + code + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline: parsing %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// ApplyBaseline partitions diagnostics into those admitted by the
+// baseline and those not. Each baseline entry admits one occurrence
+// (multiset semantics): if a file gains a second identical finding,
+// the new one still fails.
+func ApplyBaseline(diags []Diagnostic, entries []BaselineEntry) (admitted, fresh []Diagnostic) {
+	budget := map[string]int{}
+	for _, e := range entries {
+		budget[baselineKey(e.File, e.Code, e.Message)]++
+	}
+	for _, d := range diags {
+		k := baselineKey(d.File, d.Code, d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			admitted = append(admitted, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return admitted, fresh
+}
+
+// WriteBaseline snapshots the given diagnostics as a baseline file.
+// An empty diagnostic set writes an empty JSON array — the state the
+// repo's own baseline is kept in.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, BaselineEntry{File: d.File, Code: d.Code, Message: d.Message})
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

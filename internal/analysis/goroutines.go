@@ -1,0 +1,496 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroutines enforces visible lifecycle ownership on every spawned
+// goroutine, ahead of the cluster work that will multiply the repo's
+// concurrency. A `go` statement must show the analyzer one of:
+//
+//   - WaitGroup pairing: the spawned body calls wg.Done() (directly or
+//     deferred) on a sync.WaitGroup the spawning function Add()s;
+//   - a join through a channel: the body sends on a channel the
+//     spawning function visibly receives from (or ranges over);
+//   - a bounded body: the goroutine ranges over a channel (it dies
+//     when the owner closes it) or selects on a done/stop channel —
+//     a receive from <-x.Done() or a select case whose receive leads
+//     to return.
+//
+// Codes:
+//
+//	go-nojoin      a go statement with none of the lifecycle shapes
+//	               above (and no //rnuca:go-ok waiver)
+//	go-leak        the spawned body contains an unconditional loop
+//	               with no return, break, or channel receive — the
+//	               goroutine provably never exits
+//	go-unbuffered  a send from a spawned goroutine on an unbuffered
+//	               channel made in the spawning function that never
+//	               visibly receives from it (the goroutine blocks
+//	               forever if the receiver bails)
+//
+// Bodies are resolved through same-package calls (go s.worker() is
+// analyzed through worker's declaration); a body the analyzer cannot
+// see falls back to go-nojoin, to be waived where the lifecycle is
+// real but remote. Test files are exempt — test goroutines die with
+// the process.
+var Goroutines = &Analyzer{
+	Name: "goroutines",
+	Doc:  "every go statement has a visible join or lifecycle owner; spawned sends have provable receivers",
+	Codes: []string{
+		"go-nojoin",
+		"go-leak",
+		"go-unbuffered",
+		annNoReasonDoc,
+	},
+	Run: runGoroutines,
+}
+
+func runGoroutines(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, f, g, decls)
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls indexes the package's function declarations by
+// their types object, so `go s.worker()` resolves to worker's body.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+func checkGoStmt(pass *Pass, f *ast.File, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	enclosing := funcBody(enclosingFunc(f, g.Pos()))
+
+	var body *ast.BlockStmt
+	switch fn := unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		if obj := calleeObject(pass, g.Call); obj != nil {
+			if fd, ok := decls[obj]; ok {
+				body = fd.Body
+			}
+		}
+	}
+
+	if body != nil {
+		if loop := leakingLoop(body); loop != nil {
+			if !pass.Suppressed(g.Pos(), "go-ok") {
+				pass.Reportf(g.Pos(), "go-leak",
+					"spawned goroutine loops forever with no return, break, or channel receive; it can never exit (waive with //rnuca:go-ok <reason>)")
+			}
+			return
+		}
+		checkSpawnedSends(pass, g, body, enclosing)
+	}
+
+	if hasLifecycleOwner(pass, body, enclosing) {
+		return
+	}
+	if pass.Suppressed(g.Pos(), "go-ok") {
+		return
+	}
+	pass.Reportf(g.Pos(), "go-nojoin",
+		"go statement with no visible join or lifecycle owner (WaitGroup Add/Done pairing, channel receive join, range-over-channel body, or done-select); waive with //rnuca:go-ok <reason>")
+}
+
+// hasLifecycleOwner reports whether a spawned body (possibly nil when
+// unresolvable) together with its spawning function exhibits one of
+// the accepted lifecycle shapes.
+func hasLifecycleOwner(pass *Pass, body, enclosing *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	if hasDoneReceive(body) || hasStopSelect(body) || rangesOverChannel(pass, body) {
+		return true
+	}
+	if wg, ok := waitGroupDone(pass, body); ok && waitGroupAdded(pass, enclosing, wg) {
+		return true
+	}
+	if joinedThroughChannel(pass, body, enclosing) {
+		return true
+	}
+	return false
+}
+
+// leakingLoop finds an unconditional for-loop in the body that
+// contains no exit (return or break) and no channel receive — a
+// goroutine that provably spins or blocks forever.
+func leakingLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var leak *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if leak != nil {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		exits := false
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				// Any break or goto can leave the loop; conservative.
+				exits = true
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					exits = true
+				}
+			case *ast.SelectStmt, *ast.RangeStmt:
+				// Selects receive; ranges can end.
+				exits = true
+			}
+			return !exits
+		})
+		if !exits {
+			leak = loop
+		}
+		return true
+	})
+	return leak
+}
+
+// hasDoneReceive reports a receive from <-x.Done() anywhere in the
+// body — the context-cancellation wait.
+func hasDoneReceive(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		if call, ok := unparen(u.X).(*ast.CallExpr); ok {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasStopSelect reports a select with a case that receives from a
+// channel and returns — the stop-channel worker shape.
+func hasStopSelect(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if !commIsReceive(cc.Comm) {
+				continue
+			}
+			for _, st := range cc.Body {
+				if _, ok := st.(*ast.ReturnStmt); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commIsReceive reports whether a select comm clause is a receive.
+func commIsReceive(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if u, ok := unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rangesOverChannel reports a for-range over a channel-typed value —
+// a worker bounded by channel close.
+func rangesOverChannel(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[rng.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// waitGroupDone finds a Done() call on a sync.WaitGroup in the body
+// and returns the receiver's textual form ("wg", "p.wg").
+func waitGroupDone(pass *Pass, body *ast.BlockStmt) (string, bool) {
+	recv := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if recv != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if isWaitGroupExpr(pass, sel.X) {
+			recv = exprString(sel.X)
+			return false
+		}
+		return true
+	})
+	return recv, recv != ""
+}
+
+// waitGroupAdded reports an Add call on the same WaitGroup expression
+// in the spawning function.
+func waitGroupAdded(pass *Pass, enclosing *ast.BlockStmt, wg string) bool {
+	if enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if isWaitGroupExpr(pass, sel.X) && exprString(sel.X) == wg {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupExpr reports whether an expression is a sync.WaitGroup
+// (or pointer to one).
+func isWaitGroupExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// joinedThroughChannel reports whether the spawned body sends on a
+// channel the spawning function visibly receives from.
+func joinedThroughChannel(pass *Pass, body, enclosing *ast.BlockStmt) bool {
+	if enclosing == nil {
+		return false
+	}
+	sent := spawnedSendTargets(body)
+	if len(sent) == 0 {
+		return false
+	}
+	joined := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && sent[exprString(n.X)] {
+				joined = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && sent[exprString(n.X)] {
+					joined = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// spawnedSendTargets collects the textual forms of every channel the
+// body sends on.
+func spawnedSendTargets(body *ast.BlockStmt) map[string]bool {
+	sent := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			if key := exprString(s.Chan); key != "" {
+				sent[key] = true
+			}
+		}
+		return true
+	})
+	return sent
+}
+
+// checkSpawnedSends flags sends from the spawned body on unbuffered
+// channels made in the spawning function that never receives from
+// them: if every receiver bails (timeout, error return), the goroutine
+// blocks forever.
+func checkSpawnedSends(pass *Pass, g *ast.GoStmt, body, enclosing *ast.BlockStmt) {
+	if enclosing == nil {
+		return
+	}
+	unbuffered := unbufferedChannels(pass, enclosing)
+	if len(unbuffered) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		key := exprString(s.Chan)
+		if key == "" || !unbuffered[key] {
+			return true
+		}
+		if receivedInFunc(pass, enclosing, key) {
+			return true
+		}
+		if !pass.Suppressed(s.Pos(), "go-ok") {
+			pass.Reportf(s.Pos(), "go-unbuffered",
+				"send on unbuffered channel %s from a spawned goroutine with no visible receiver in the spawning function; buffer it or waive with //rnuca:go-ok <reason>", key)
+		}
+		return true
+	})
+}
+
+// unbufferedChannels maps channel variables made in the function via
+// make(chan T) — with no capacity or an explicit 0 — to true.
+func unbufferedChannels(pass *Pass, enclosing *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[rhs]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			key := exprString(as.Lhs[i])
+			if key == "" {
+				continue
+			}
+			if len(call.Args) < 2 {
+				out[key] = true
+				continue
+			}
+			if tvCap, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tvCap.Value != nil && tvCap.Value.String() == "0" {
+				out[key] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receivedInFunc reports a visible receive (or range) of the channel
+// expression anywhere in the function.
+func receivedInFunc(pass *Pass, enclosing *ast.BlockStmt, key string) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && exprString(n.X) == key {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && exprString(n.X) == key {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,474 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces allocation and dispatch discipline inside regions
+// marked //rnuca:hotpath — the per-reference simulation loops whose
+// cost is the reproduction's critical path. The annotation goes on a
+// function declaration (covering its body) or directly above a
+// for/range statement (covering the loop); inside a region the
+// analyzer flags everything that can allocate per iteration or defeat
+// the compiler's devirtualization:
+//
+//	hot-alloc    escaping composite literal, new(T), or make(...)
+//	hot-append   append (growth reallocates the backing array)
+//	hot-closure  function literal capturing outer variables
+//	hot-map      map indexing (hashing + possible growth per access)
+//	hot-iface    method dispatch through an interface-typed value
+//	hot-defer    defer inside a loop (runtime defer record per pass)
+//	hot-convert  string <-> []byte conversion (copies the bytes)
+//
+// The allocation checks are escape-aware: a composite literal or
+// new(T) whose value provably stays local to the enclosing function
+// (never returned, stored into longer-lived state, passed to a
+// non-builtin call, sent, or captured) is stack-allocated by the
+// compiler and does not fire. Plain value literals (x := Cost{})
+// never fire. A finding that is deliberate — an epoch-boundary
+// snapshot amortized over 64Ki references, the one dynamic dispatch
+// that *is* the engine/design boundary — is waived in place with
+// //rnuca:alloc-ok <reason>.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "regions marked //rnuca:hotpath stay free of per-iteration allocation, map traffic, and interface dispatch",
+	Codes: []string{
+		"hot-alloc",
+		"hot-append",
+		"hot-closure",
+		"hot-map",
+		"hot-iface",
+		"hot-defer",
+		"hot-convert",
+		annNoReasonDoc,
+	},
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		regions := hotRegions(pass, f)
+		if len(regions) == 0 {
+			continue
+		}
+		parents := buildParents(f)
+		for _, region := range regions {
+			checkHotRegion(pass, f, region, parents)
+		}
+	}
+	return nil
+}
+
+// hotRegions collects the bodies marked //rnuca:hotpath in one file:
+// annotated function declarations contribute their whole body,
+// annotated for/range statements contribute the loop. The annotation
+// is a marker, not a waiver, so no reason is required.
+func hotRegions(pass *Pass, f *ast.File) []ast.Node {
+	var regions []ast.Node
+	mark := func(n ast.Node) bool {
+		line := pass.Fset.Position(n.Pos()).Line
+		file := pass.Fset.Position(n.Pos()).Filename
+		_, ok := pass.ann.at(file, line, "hotpath")
+		return ok
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil && mark(n) {
+				regions = append(regions, n)
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			if mark(n) {
+				regions = append(regions, n)
+			}
+		}
+		return true
+	})
+	return regions
+}
+
+// regionBody returns the statements a hot region covers.
+func regionBody(region ast.Node) *ast.BlockStmt {
+	switch n := region.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+func checkHotRegion(pass *Pass, f *ast.File, region ast.Node, parents map[ast.Node]ast.Node) {
+	body := regionBody(region)
+	if body == nil {
+		return
+	}
+	// Loop spans inside the region: defer is only a finding inside one
+	// (a function-level defer runs once). An annotated loop is itself a
+	// span.
+	var loopSpans [][2]token.Pos
+	if _, isFunc := region.(*ast.FuncDecl); !isFunc {
+		loopSpans = append(loopSpans, [2]token.Pos{body.Pos(), body.End()})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loopSpans = append(loopSpans, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loopSpans = append(loopSpans, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, s := range loopSpans {
+			if s[0] <= pos && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			checkHotComposite(pass, f, n, parents)
+		case *ast.CallExpr:
+			checkHotCall(pass, f, n, parents)
+		case *ast.FuncLit:
+			if capturesOuter(pass, f, n) && !pass.Suppressed(n.Pos(), "alloc-ok") {
+				pass.Reportf(n.Pos(), "hot-closure",
+					"closure captures outer variables and allocates per evaluation; hoist it out of the hot path or waive with //rnuca:alloc-ok <reason>")
+			}
+		case *ast.IndexExpr:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !pass.Suppressed(n.Pos(), "alloc-ok") {
+					pass.Reportf(n.Pos(), "hot-map",
+						"map access in a hot path (hashing per access, possible rehash on growth); use a dense index or waive with //rnuca:alloc-ok <reason>")
+				}
+			}
+		case *ast.DeferStmt:
+			if inLoop(n.Pos()) && !pass.Suppressed(n.Pos(), "alloc-ok") {
+				pass.Reportf(n.Pos(), "hot-defer",
+					"defer inside a hot loop pushes a runtime defer record per iteration; restructure or waive with //rnuca:alloc-ok <reason>")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotComposite applies the escape heuristic to a composite
+// literal found in a hot region.
+func checkHotComposite(pass *Pass, f *ast.File, lit *ast.CompositeLit, parents map[ast.Node]ast.Node) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	kind := ""
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		kind = "map literal"
+	case *types.Slice:
+		kind = "slice literal"
+	default:
+		// A plain value literal (x := Cost{}) lives in registers or on
+		// the stack; only &T{} can reach the heap.
+		if p, ok := parents[lit].(*ast.UnaryExpr); !ok || p.Op != token.AND {
+			return
+		}
+		kind = "&composite literal"
+	}
+	if !allocEscapes(pass, f, lit, parents) {
+		return
+	}
+	if pass.Suppressed(lit.Pos(), "alloc-ok") {
+		return
+	}
+	pass.Reportf(lit.Pos(), "hot-alloc",
+		"%s escapes and heap-allocates in a hot path; preallocate outside the loop or waive with //rnuca:alloc-ok <reason>", kind)
+}
+
+// checkHotCall flags allocating builtins (make, new, append) and
+// interface dispatch, plus string<->[]byte conversions.
+func checkHotCall(pass *Pass, f *ast.File, call *ast.CallExpr, parents map[ast.Node]ast.Node) {
+	// Conversions: T(x) where the "callee" is a type.
+	if tvFun, ok := pass.TypesInfo.Types[call.Fun]; ok && tvFun.IsType() && len(call.Args) == 1 {
+		if argTV, ok := pass.TypesInfo.Types[call.Args[0]]; ok && argTV.Type != nil {
+			if isStringBytesConv(tvFun.Type, argTV.Type) && !pass.Suppressed(call.Pos(), "alloc-ok") {
+				pass.Reportf(call.Pos(), "hot-convert",
+					"string <-> []byte conversion copies the bytes on every evaluation; keep one representation or waive with //rnuca:alloc-ok <reason>")
+			}
+			return
+		}
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				if !pass.Suppressed(call.Pos(), "alloc-ok") {
+					pass.Reportf(call.Pos(), "hot-append",
+						"append in a hot path reallocates on growth; preallocate capacity outside the loop or waive with //rnuca:alloc-ok <reason>")
+				}
+			case "make":
+				if !pass.Suppressed(call.Pos(), "alloc-ok") {
+					pass.Reportf(call.Pos(), "hot-alloc",
+						"make allocates in a hot path; hoist the allocation out of the loop or waive with //rnuca:alloc-ok <reason>")
+				}
+			case "new":
+				if allocEscapes(pass, f, call, parents) && !pass.Suppressed(call.Pos(), "alloc-ok") {
+					pass.Reportf(call.Pos(), "hot-alloc",
+						"new(T) escapes and heap-allocates in a hot path; reuse storage or waive with //rnuca:alloc-ok <reason>")
+				}
+			}
+			return
+		}
+	}
+	// Interface dispatch: a method call whose receiver's static type is
+	// an interface cannot be devirtualized or inlined.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if _, isIface := s.Recv().Underlying().(*types.Interface); isIface && !pass.Suppressed(call.Pos(), "alloc-ok") {
+				pass.Reportf(call.Pos(), "hot-iface",
+					"interface method dispatch through %s in a hot path defeats inlining; devirtualize or waive with //rnuca:alloc-ok <reason>", exprOrType(sel.X))
+			}
+		}
+	}
+}
+
+// exprOrType renders a receiver expression for the hot-iface message,
+// falling back to a generic description.
+func exprOrType(e ast.Expr) string {
+	if s := exprString(e); s != "" {
+		return s
+	}
+	return "an interface value"
+}
+
+// isStringBytesConv reports a conversion between string and []byte (or
+// types whose underlying forms are).
+func isStringBytesConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// buildParents maps every node in the file to its syntactic parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// allocEscapes decides whether the value produced by an allocating
+// expression (composite literal, &literal, or new(T)) can outlive the
+// enclosing function per a conservative syntactic heuristic. A value
+// that is only ever read, indexed, iterated, or passed to allocation-
+// transparent builtins stays on the stack and is not a hot-path
+// finding; anything returned, stored into reachable state, passed to a
+// call, sent, or captured is assumed to escape.
+func allocEscapes(pass *Pass, f *ast.File, e ast.Expr, parents map[ast.Node]ast.Node) bool {
+	n := ast.Node(e)
+	// The address-of wrapper is part of the allocation.
+	if p, ok := parents[n].(*ast.UnaryExpr); ok && p.Op == token.AND {
+		n = p
+	}
+	switch p := parents[n].(type) {
+	case *ast.AssignStmt:
+		// Direct binding to a plain local: trace that variable's uses.
+		for i, rhs := range p.Rhs {
+			if unparen(rhs) != n && rhs != n {
+				continue
+			}
+			if i >= len(p.Lhs) {
+				break
+			}
+			if id, ok := unparen(p.Lhs[i]).(*ast.Ident); ok {
+				if id.Name == "_" {
+					return false
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil {
+					return localVarEscapes(pass, f, obj, parents)
+				}
+			}
+			// Stored into a field, element, or dereference: escapes.
+			return true
+		}
+		return true
+	case *ast.ValueSpec:
+		for i, v := range p.Values {
+			if (unparen(v) == n || v == n) && i < len(p.Names) {
+				if obj := pass.TypesInfo.Defs[p.Names[i]]; obj != nil {
+					return localVarEscapes(pass, f, obj, parents)
+				}
+			}
+		}
+		return true
+	default:
+		// Returned, passed as an argument, stored as an element of a
+		// larger value, sent on a channel, or used in any other
+		// flow-obscuring position: assume it escapes.
+		return true
+	}
+}
+
+// localVarEscapes scans the enclosing function for uses of a local
+// variable bound to a fresh allocation and reports whether any use
+// lets the value outlive the frame.
+func localVarEscapes(pass *Pass, f *ast.File, obj types.Object, parents map[ast.Node]ast.Node) bool {
+	fn := enclosingFunc(f, obj.Pos())
+	body := funcBody(fn)
+	if body == nil {
+		return true
+	}
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || (pass.TypesInfo.Uses[id] != obj && pass.TypesInfo.Defs[id] != obj) {
+			return true
+		}
+		// A use captured by a nested function literal escapes.
+		if inner := enclosingFunc(f, id.Pos()); inner != fn {
+			escapes = true
+			return false
+		}
+		if identUseEscapes(pass, id, parents) {
+			escapes = true
+			return false
+		}
+		return true
+	})
+	return escapes
+}
+
+// identUseEscapes classifies one use of a tracked local.
+func identUseEscapes(pass *Pass, id *ast.Ident, parents map[ast.Node]ast.Node) bool {
+	p := parents[ast.Node(id)]
+	for {
+		if pe, ok := p.(*ast.ParenExpr); ok {
+			p = parents[pe]
+			continue
+		}
+		break
+	}
+	switch p := p.(type) {
+	case *ast.UnaryExpr:
+		// Address taken: give up on tracking where the pointer goes.
+		return p.Op == token.AND
+	case *ast.ReturnStmt:
+		return true
+	case *ast.SendStmt:
+		return true
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.CallExpr:
+		// The callee position (a func-typed var) is a call, not a leak of
+		// the value; arguments escape unless the callee is an
+		// allocation-transparent builtin.
+		if p.Fun == id {
+			return false
+		}
+		if fid, ok := unparen(p.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[fid].(*types.Builtin); isBuiltin {
+				switch fid.Name {
+				case "len", "cap", "append", "copy", "delete", "clear":
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.SelectorExpr:
+		// Method call through the variable: a pointer receiver may
+		// retain it. Field reads are fine.
+		if call, ok := parents[ast.Node(p)].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) {
+			if s, ok := pass.TypesInfo.Selections[p]; ok && s.Kind() == types.MethodVal {
+				if sig, ok := s.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+					if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		// Reassigning the variable itself is fine; using it as the RHS
+		// of another binding aliases it — give up and call it an escape.
+		for _, l := range p.Lhs {
+			if unparen(l) == ast.Expr(id) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// capturesOuter reports whether a function literal references any
+// variable declared outside its own body (the captures that force a
+// closure allocation; a literal with no captures compiles to a static
+// function value).
+func capturesOuter(pass *Pass, f *ast.File, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captured by value.
+		if v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}

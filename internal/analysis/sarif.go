@@ -1,0 +1,129 @@
+package analysis
+
+// SARIF 2.1.0 rendering of the suite's diagnostics, the one static
+// analysis interchange format GitHub code scanning ingests natively:
+// `rnuca-vet -sarif ./... > vet.sarif` uploaded by the lint job turns
+// every finding into an inline PR annotation. The output is frozen by
+// a golden in sarif_test.go — the schema is external contract, so a
+// field rename here must show up as a reviewed golden diff.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// sarifLog is the document root (minimal but schema-valid subset).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// MarshalSARIF renders diagnostics as a SARIF 2.1.0 log. Every code
+// any suite analyzer declares appears as a rule (its analyzer's doc
+// line as the description), findings or not, so the rule inventory in
+// code scanning matches `-codes`. root, when non-empty, relativizes
+// file paths against it — SARIF artifact URIs must be repo-relative
+// with forward slashes for GitHub to anchor annotations.
+func MarshalSARIF(diags []Diagnostic, root string) ([]byte, error) {
+	var rules []sarifRule
+	for _, c := range AllCodes() {
+		doc := ""
+		for _, a := range All() {
+			for _, ac := range a.Codes {
+				if ac == c {
+					doc = a.Name + ": " + a.Doc
+				}
+			}
+		}
+		rules = append(rules, sarifRule{ID: c, ShortDescription: sarifMessage{Text: doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Code,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.File, root)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "rnuca-vet",
+				InformationURI: "https://example.invalid/rnuca",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// sarifURI converts a diagnostic file path to the slash-separated
+// root-relative form SARIF wants.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,15 @@
+// Package api exercises the apifreeze analyzer against the frozen
+// snapshot in this fixture's own testdata/api-frozen.txt: one symbol
+// matches it, one changed signature, one was removed (removals anchor
+// at the package clause — there is no symbol left to point at), and
+// one is a new addition, which is always allowed.
+package api // want `api-removed`
+
+// Kept matches the snapshot exactly.
+func Kept(x int) int { return x }
+
+// Changed returns string now; the snapshot froze it returning int.
+func Changed(x int) string { return "" } // want `api-changed`
+
+// Added postdates the snapshot: additions never fire.
+func Added() {}

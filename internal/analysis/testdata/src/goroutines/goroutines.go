@@ -1,0 +1,116 @@
+// Package goroutines exercises the goroutine-lifecycle analyzer: the
+// three failure shapes (no join, provable leak, unbuffered
+// fire-and-forget send), every accepted lifecycle owner, named-callee
+// body resolution, and the go-ok waiver.
+package goroutines
+
+import "sync"
+
+func work() {}
+
+func compute() int { return 1 }
+
+func use(int) {}
+
+// spawnsDetached has no join, no bounded body: the goroutine's
+// lifetime is invisible.
+func spawnsDetached() {
+	go func() { // want `go-nojoin`
+		work()
+	}()
+}
+
+// spawnsSpinner loops unconditionally with no exit or receive: it
+// provably never terminates.
+func spawnsSpinner() {
+	go func() { // want `go-leak`
+		for {
+			work()
+		}
+	}()
+}
+
+// fireAndForget sends on an unbuffered channel nobody receives from:
+// the goroutine blocks forever, and the spawn has no owner either.
+func fireAndForget() {
+	done := make(chan int)
+	go func() { // want `go-nojoin`
+		done <- 1 // want `go-unbuffered`
+	}()
+}
+
+// joined is the buffered-result join: the send cannot block and the
+// spawning function visibly receives it.
+func joined() {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	<-done
+}
+
+// joinedUnbuffered is fine too: unbuffered, but the receive is right
+// there.
+func joinedUnbuffered() {
+	res := make(chan int)
+	go func() {
+		res <- compute()
+	}()
+	use(<-res)
+}
+
+// fanOut is the WaitGroup shape: Add in the spawner, Done in the body.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// workers ranges over a channel: bounded by the owner closing it.
+func workers(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			use(j)
+		}
+	}()
+}
+
+type server struct {
+	stop chan struct{}
+}
+
+// start spawns a named method: the analyzer resolves worker's body
+// through the package's declarations and finds the stop-select.
+func (s *server) start() {
+	go s.worker()
+}
+
+func (s *server) worker() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// detached is deliberately unowned and says why.
+func detached() {
+	//rnuca:go-ok telemetry flush owns its own lifetime and exits with the process
+	go work()
+}
+
+// bareWaiver's go-ok has no reason: the waiver is rejected and the
+// finding stands.
+func bareWaiver() {
+	//rnuca:go-ok
+	go work() // want `ann-noreason` `go-nojoin`
+}

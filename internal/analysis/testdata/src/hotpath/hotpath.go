@@ -1,0 +1,142 @@
+// Package hotpath exercises the hotpath analyzer: allocation, map
+// traffic, and dispatch findings inside //rnuca:hotpath regions, the
+// escape heuristic's negative cases, and the alloc-ok waiver.
+package hotpath
+
+type cost struct{ v int }
+
+type ticker interface{ Tick() int }
+
+func release(int) {}
+
+// hotAllocs binds a &literal to a local that escapes through another
+// variable: heap allocation per iteration.
+//
+//rnuca:hotpath
+func hotAllocs(n int) *cost {
+	var last *cost
+	for i := 0; i < n; i++ {
+		c := &cost{v: i} // want `hot-alloc`
+		last = c
+	}
+	return last
+}
+
+// stackLocal's &literal is only ever read through field selectors: the
+// compiler keeps it on the stack, so no finding.
+//
+//rnuca:hotpath
+func stackLocal(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		c := &cost{v: i}
+		total += c.v
+	}
+	return total
+}
+
+// valueLit is a plain value literal: registers or stack, never a
+// finding.
+//
+//rnuca:hotpath
+func valueLit(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		c := cost{v: i}
+		t += c.v
+	}
+	return t
+}
+
+//rnuca:hotpath
+func sliceLit(n int) []int {
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			return []int{i} // want `hot-alloc`
+		}
+	}
+	return nil
+}
+
+//rnuca:hotpath
+func growth(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)  // want `hot-append`
+		m := make([]int, 4) // want `hot-alloc`
+		_ = m
+	}
+	return xs
+}
+
+//rnuca:hotpath
+func mapTraffic(pages map[uint64]int, refs []uint64) int {
+	t := 0
+	for _, p := range refs {
+		t += pages[p] // want `hot-map`
+	}
+	return t
+}
+
+//rnuca:hotpath
+func dispatch(t ticker, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += t.Tick() // want `hot-iface`
+	}
+	return s
+}
+
+// deferred marks only the loop, not the whole function: the annotation
+// also attaches to for/range statements.
+func deferred(n int) {
+	//rnuca:hotpath
+	for i := 0; i < n; i++ {
+		defer release(i) // want `hot-defer`
+	}
+}
+
+//rnuca:hotpath
+func closures(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		f := func() int { return s + i } // want `hot-closure`
+		s = f()
+	}
+	return s
+}
+
+//rnuca:hotpath
+func convert(b []byte, n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += len(string(b)) // want `hot-convert`
+	}
+	return t
+}
+
+// waived shows both waiver outcomes: a reasoned alloc-ok suppresses,
+// a bare one reports ann-noreason and the underlying finding stands.
+//
+//rnuca:hotpath
+func waived(pages map[uint64]int, refs []uint64) int {
+	t := 0
+	for _, p := range refs {
+		//rnuca:alloc-ok histogram update amortized over the epoch
+		t += pages[p]
+	}
+	for _, p := range refs {
+		//rnuca:alloc-ok
+		t += pages[p] // want `ann-noreason` `hot-map`
+	}
+	return t
+}
+
+// coldPath is unannotated: the same patterns report nothing.
+func coldPath(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}

@@ -20,6 +20,9 @@ var fixtures = []struct {
 	{"wire", analysis.WireFrozen},
 	{"ctx", analysis.CtxRules},
 	{"obs", analysis.ObsNames},
+	{"hotpath", analysis.HotPath},
+	{"goroutines", analysis.Goroutines},
+	{"api", analysis.APIFreeze},
 }
 
 func fixtureDir(t *testing.T, name string) string {
@@ -45,6 +48,18 @@ func TestCtxRules(t *testing.T) {
 
 func TestObsNames(t *testing.T) {
 	analysistest.Run(t, fixtureDir(t, "obs"), analysis.ObsNames)
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, fixtureDir(t, "hotpath"), analysis.HotPath)
+}
+
+func TestGoroutines(t *testing.T) {
+	analysistest.Run(t, fixtureDir(t, "goroutines"), analysis.Goroutines)
+}
+
+func TestAPIFreeze(t *testing.T) {
+	analysistest.Run(t, fixtureDir(t, "api"), analysis.APIFreeze)
 }
 
 // TestDeterminismScopeGate proves the scope gate: the same nondet code
@@ -100,6 +115,53 @@ func TestEveryCodeFires(t *testing.T) {
 	}
 }
 
+// TestAllCodesFrozen pins the exact code inventory `rnuca-vet -codes`
+// prints. Adding a code is a deliberate act (update this list and give
+// it a firing fixture); losing one silently would mean an analyzer
+// stopped declaring a check it used to make.
+func TestAllCodesFrozen(t *testing.T) {
+	want := []string{
+		"ann-noreason",
+		"api-changed",
+		"api-removed",
+		"ctx-background",
+		"ctx-field",
+		"ctx-notfirst",
+		"det-maprange",
+		"det-rand",
+		"det-time",
+		"go-leak",
+		"go-nojoin",
+		"go-unbuffered",
+		"hot-alloc",
+		"hot-append",
+		"hot-closure",
+		"hot-convert",
+		"hot-defer",
+		"hot-iface",
+		"hot-map",
+		"lock-unheld",
+		"lock-unknown-mutex",
+		"obs-buckets",
+		"obs-name-format",
+		"obs-name-literal",
+		"wire-notag",
+		"wire-unmarked",
+	}
+	got := analysis.AllCodes()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("AllCodes() is not sorted: %v", got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AllCodes() = %d codes, want %d:\n got %v\nwant %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("AllCodes()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 // TestDiagnosticJSON freezes the -json wire shape editors and CI
 // annotations consume.
 func TestDiagnosticJSON(t *testing.T) {
@@ -117,6 +179,48 @@ func TestDiagnosticJSON(t *testing.T) {
 	}
 	if got := d.String(); got != "x.go:3:7: det-time: m" {
 		t.Errorf("Diagnostic String = %q", got)
+	}
+}
+
+// TestLoadParallelParity proves the fan-out loader is a pure speedup:
+// same packages, same order, same diagnostics as the sequential path.
+// Skipped in -short mode (each worker re-typechecks shared deps).
+func TestLoadParallelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel load typechecks dependencies per worker")
+	}
+	patterns := []string{"rnuca/internal/analysis", "rnuca/internal/sim", "rnuca/cmd/rnuca-vet"}
+	seq, err := analysis.Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := analysis.LoadParallel(3, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("package count: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Path != par[i].Path {
+			t.Errorf("package[%d]: sequential %q, parallel %q", i, seq[i].Path, par[i].Path)
+		}
+	}
+	dseq, err := analysis.RunAnalyzers(seq, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpar, err := analysis.RunAnalyzers(par, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dseq) != len(dpar) {
+		t.Fatalf("diagnostics: sequential %d, parallel %d", len(dseq), len(dpar))
+	}
+	for i := range dseq {
+		if dseq[i] != dpar[i] {
+			t.Errorf("diag[%d]: sequential %v, parallel %v", i, dseq[i], dpar[i])
+		}
 	}
 }
 
@@ -138,5 +242,20 @@ func TestRepoIsVetClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestBaselineIsBurnedDown asserts the checked-in vet-baseline.json is
+// the empty multiset. The baseline exists as a mechanism for adopting
+// new passes incrementally on a dirty tree; this repo's policy is that
+// it never stays dirty — every finding is fixed or carries an in-source
+// waiver with a reason, so the debt ledger reads [].
+func TestBaselineIsBurnedDown(t *testing.T) {
+	entries, err := analysis.LoadBaseline(filepath.Join("..", "..", "vet-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("baselined (unfixed, unwaived) finding: %s: %s: %s", e.File, e.Code, e.Message)
 	}
 }

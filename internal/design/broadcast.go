@@ -39,6 +39,8 @@ func NewPrivateBroadcast(ch *sim.Chassis) *PrivateBroadcast {
 func (d *PrivateBroadcast) Name() string { return "Pb" }
 
 // Access implements sim.Design.
+//
+//rnuca:hotpath
 func (d *PrivateBroadcast) Access(r trace.Ref) sim.Cost {
 	var cost sim.Cost
 	ch := d.ch
@@ -72,16 +74,15 @@ func (d *PrivateBroadcast) Access(r trace.Ref) sim.Cost {
 	// the traffic accounting captures.
 	bcast := d.broadcastCost(tile)
 
-	dist := func(t int) int { return ch.Hops(tile, noc.TileID(t)) }
 	var act coherence.Action
 	if r.IsWrite() {
-		act = d.dir.Write(addr, core, dist)
+		act = d.dir.Write(addr, core, d.dists[core])
 		for _, t := range act.Invalidated {
 			d.sl.l2[t].Invalidate(addr)
 			d.sl.victim[t].Take(addr)
 		}
 	} else {
-		act = d.dir.Read(addr, core, dist)
+		act = d.dir.Read(addr, core, d.dists[core])
 	}
 
 	lat := float64(ch.Cfg.L2HitCycles) + bcast
@@ -125,7 +126,6 @@ func (d *PrivateBroadcast) broadcastCost(from noc.TileID) float64 {
 
 // broadcastUpgrade invalidates remote copies of a locally written block.
 func (d *PrivateBroadcast) broadcastUpgrade(core int, addr cache.Addr, line *cache.Line) float64 {
-	ch := d.ch
 	line.State = cache.Modified
 	e := d.dir.Lookup(addr)
 	others := 0
@@ -140,7 +140,7 @@ func (d *PrivateBroadcast) broadcastUpgrade(core int, addr cache.Addr, line *cac
 		}
 	}
 	tile := noc.TileID(core)
-	act := d.dir.Write(addr, core, func(t int) int { return ch.Hops(tile, noc.TileID(t)) })
+	act := d.dir.Write(addr, core, d.dists[core])
 	for _, t := range act.Invalidated {
 		d.sl.l2[t].Invalidate(addr)
 		d.sl.victim[t].Take(addr)

@@ -131,7 +131,14 @@ func (t *FoldedTorus2D) Hops(a, b TileID) int {
 
 // Route implements Topology using dimension-order (X then Y) routing.
 func (t *FoldedTorus2D) Route(a, b TileID) []Link {
-	var links []Link
+	return t.AppendRoute(nil, a, b)
+}
+
+// AppendRoute appends the dimension-order route to links and returns
+// the extended slice, letting per-message callers (the link-queue
+// contention model, flight link accounting) reuse one buffer instead
+// of allocating a fresh route per traversal.
+func (t *FoldedTorus2D) AppendRoute(links []Link, a, b TileID) []Link {
 	cur := t.coord(a)
 	dst := t.coord(b)
 	for cur.X != dst.X {
@@ -191,7 +198,12 @@ func (m *Mesh2D) Hops(a, b TileID) int {
 
 // Route implements Topology using X-then-Y dimension order routing.
 func (m *Mesh2D) Route(a, b TileID) []Link {
-	var links []Link
+	return m.AppendRoute(nil, a, b)
+}
+
+// AppendRoute appends the dimension-order route to links and returns
+// the extended slice (see FoldedTorus2D.AppendRoute).
+func (m *Mesh2D) AppendRoute(links []Link, a, b TileID) []Link {
 	cur := m.coord(a)
 	dst := m.coord(b)
 	step := func(v, target int) int {

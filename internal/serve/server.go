@@ -401,6 +401,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
+	//rnuca:go-ok wait-or-cancel shim: exits when the job WaitGroup drains; a ctx timeout abandons it but it still terminates on its own
 	go func() {
 		s.wg.Wait()
 		close(done)
@@ -712,6 +713,7 @@ func (s *Server) executeConvert(j *job) (*JobResult, error) {
 	}()
 	select {
 	case <-j.ctx.Done():
+		//rnuca:go-ok reaper for the detached conversion: exits after the buffered done send, removing the orphaned temp file
 		go func() {
 			<-done
 			os.Remove(tmpPath)

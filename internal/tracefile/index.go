@@ -422,9 +422,12 @@ func (x *IndexedReader) Parallel(workers int, start, n uint64) (*ParallelSource,
 // decodeChunk decompresses chunk i in full and verifies it against the
 // index (record count and per-core snapshot). The records are appended
 // to dst[:0], so callers can recycle batch backing arrays.
+//
+//rnuca:hotpath
 func (x *IndexedReader) decodeChunk(dec *chunkDecoder, i int, dst []trace.Ref) ([]trace.Ref, error) {
 	e := &x.idx[i]
 	var frame [frameSize]byte
+	//rnuca:alloc-ok ReaderAt is the random-access seam (os.File or section reader); one dispatch per chunk, not per record
 	if _, err := x.ra.ReadAt(frame[:], int64(e.Offset)); err != nil {
 		return nil, corruptf("chunk %d frame: %v", i, err)
 	}
@@ -438,9 +441,11 @@ func (x *IndexedReader) decodeChunk(dec *chunkDecoder, i int, dst []trace.Ref) (
 		return nil, corruptf("chunk frame lengths %d/%d/%d", compLen, rawLen, count)
 	}
 	if cap(dec.comp) < int(compLen) {
+		//rnuca:alloc-ok decompress buffer grows to the chunk high-water mark once, then is recycled across chunks
 		dec.comp = make([]byte, compLen)
 	}
 	dec.comp = dec.comp[:compLen]
+	//rnuca:alloc-ok ReaderAt is the random-access seam; one dispatch per chunk, not per record
 	if _, err := x.ra.ReadAt(dec.comp, int64(e.Offset)+frameSize); err != nil {
 		return nil, corruptf("chunk %d payload: %v", i, err)
 	}
@@ -449,6 +454,7 @@ func (x *IndexedReader) decodeChunk(dec *chunkDecoder, i int, dst []trace.Ref) (
 	}
 	refs := dst[:0]
 	if cap(refs) < int(count) {
+		//rnuca:alloc-ok batch buffers come from batchPool and grow to chunk-size capacity once, then recycle
 		refs = make([]trace.Ref, 0, count)
 	}
 	for !dec.drained() {
@@ -456,6 +462,7 @@ func (x *IndexedReader) decodeChunk(dec *chunkDecoder, i int, dst []trace.Ref) (
 		if !ok {
 			return nil, dec.err
 		}
+		//rnuca:alloc-ok capacity is preallocated to the chunk record count above; this append never grows
 		refs = append(refs, r)
 	}
 	if !dec.checkComplete() {

@@ -120,6 +120,8 @@ func (d *chunkDecoder) varint() int64 {
 // the in-memory representation can hold on every platform: busy and the
 // reconstructed thread must fit an int32, so int conversions cannot
 // overflow even on 32-bit builds.
+//
+//rnuca:hotpath
 func (d *chunkDecoder) decode() (trace.Ref, bool) {
 	if d.nref >= d.declared {
 		d.fail(corruptf("chunk payload holds more than its declared %d records", d.declared))
